@@ -1,0 +1,66 @@
+"""Ablation C — sensitivity to the accuracy-threshold factor.
+
+The paper fixes ``accth = 0.4 x`` the average precise output and calls the
+threshold "an exploration parameter [that] can be adapted to the case".
+This ablation sweeps the factor and reports how the feasible fraction of the
+exploration and the best feasible power reduction respond: tighter accuracy
+budgets shrink the feasible region and the achievable savings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import QLearningAgent
+from repro.agents.schedules import LinearDecayEpsilon
+from repro.benchmarks import MatMulBenchmark
+from repro.dse import AxcDseEnv, Explorer
+
+FACTORS = (0.1, 0.2, 0.4, 0.8)
+
+
+def _run(accuracy_factor: float, steps: int, seed: int = 0):
+    kernel = MatMulBenchmark(rows=10, inner=10, cols=10)
+    environment = AxcDseEnv(kernel, evaluation_seed=seed, accuracy_factor=accuracy_factor)
+    agent = QLearningAgent(
+        num_actions=environment.action_space.n,
+        epsilon=LinearDecayEpsilon(start=1.0, end=0.05, decay_steps=max(steps // 4, 1)),
+        seed=seed,
+    )
+    result = Explorer(environment, agent, max_steps=steps).run(seed=seed)
+    return environment, result
+
+
+def test_ablation_accuracy_threshold(benchmark, exploration_budget):
+    steps = min(exploration_budget, 1500)
+
+    def regenerate():
+        sweep = {}
+        for factor in FACTORS:
+            environment, result = _run(factor, steps)
+            best = result.best_feasible()
+            sweep[factor] = {
+                "accth": round(environment.thresholds.accuracy, 3),
+                "feasible_fraction": round(result.feasible_fraction(), 3),
+                "best_feasible_power_mw": None if best is None else round(
+                    best.deltas.power_mw, 3
+                ),
+            }
+        return sweep
+
+    sweep = benchmark.pedantic(regenerate, iterations=1, rounds=1)
+    benchmark.extra_info["threshold_sweep"] = sweep
+
+    print("\nAblation C — accuracy-threshold sweep on matmul_10x10")
+    for factor, row in sweep.items():
+        print(f"  factor={factor:,.1f}  accth={row['accth']:>12,.1f}  "
+              f"feasible={row['feasible_fraction']:.2f}  "
+              f"best Δpower={row['best_feasible_power_mw']}")
+
+    # The derived threshold scales linearly with the factor.
+    assert sweep[0.8]["accth"] == pytest.approx(8 * sweep[0.1]["accth"], rel=1e-6)
+    # A looser accuracy budget can never reduce the feasible fraction.
+    fractions = [sweep[factor]["feasible_fraction"] for factor in FACTORS]
+    assert all(later >= earlier - 0.05 for earlier, later in zip(fractions, fractions[1:]))
+    # Every setting still finds some feasible configuration.
+    assert all(sweep[factor]["best_feasible_power_mw"] is not None for factor in FACTORS)

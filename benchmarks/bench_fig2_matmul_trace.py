@@ -1,0 +1,44 @@
+"""Figure 2 — exploration outcome evolution for Matrix Multiplication (10x10).
+
+Regenerates the per-step Δpower / Δtime / Δacc series and their linear trend
+lines.  The paper's observation is that the trends move toward the
+optimisation goal (power and time reductions trend upward) while the
+accuracy constraint keeps being respected most of the time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_q_learning
+from repro.analysis import exploration_trace, trace_trends
+from repro.benchmarks import MatMulBenchmark
+
+
+def test_fig2_matmul_trace(benchmark, exploration_budget):
+    def regenerate():
+        environment, result = run_q_learning(
+            MatMulBenchmark(rows=10, inner=10, cols=10), max_steps=exploration_budget
+        )
+        return environment, result, exploration_trace(result), trace_trends(result)
+
+    environment, result, trace, trends = benchmark.pedantic(regenerate, iterations=1, rounds=1)
+    benchmark.extra_info["trend_slopes"] = {
+        name: trend.slope for name, trend in trends.items()
+    }
+    benchmark.extra_info["steps"] = result.num_steps
+
+    print(f"\nFigure 2 — MatMul 10x10 exploration trace ({result.num_steps} steps)")
+    for name in ("power_mw", "time_ns", "accuracy"):
+        series = trace[name]
+        trend = trends[name]
+        print(f"  {name:9s}: first={series[0]:.2f} last={series[-1]:.2f} "
+              f"mean={series.mean():.2f} trend_slope={trend.slope:+.4f}")
+
+    # Figure-2 shape: the agent moves toward larger power / time reductions.
+    assert trends["power_mw"].slope > 0
+    assert trends["time_ns"].slope > 0
+    # The exploration spends most of its time within the accuracy constraint.
+    feasible = np.mean(trace["accuracy"] <= environment.thresholds.accuracy)
+    assert feasible > 0.5

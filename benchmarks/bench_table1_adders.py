@@ -1,0 +1,46 @@
+"""Table I — selected adders from the (reproduced) EvoApproxLib catalog.
+
+Regenerates the adder rows: operator name, published MRED / power / delay,
+plus the re-measured MRED of the behavioural model standing in for each
+circuit.  The benchmark times the full characterisation sweep.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_operator_table
+from repro.operators import characterize, default_catalog
+
+
+def _characterize_adders(samples: int):
+    catalog = default_catalog()
+    rows = []
+    for entry in catalog.adders:
+        report = characterize(catalog.instance(entry.name), samples=samples)
+        rows.append(
+            {
+                "operator": entry.name,
+                "width": entry.width,
+                "mred_paper": entry.published.mred_percent,
+                "mred_measured": round(report.mred_percent, 3),
+                "power_mw": entry.published.power_mw,
+                "time_ns": entry.published.delay_ns,
+            }
+        )
+    return catalog, rows
+
+
+def test_table1_adders(benchmark):
+    catalog, rows = benchmark.pedantic(
+        lambda: _characterize_adders(samples=20000), iterations=1, rounds=1
+    )
+    benchmark.extra_info["table1"] = rows
+
+    print("\nTable I — selected adders (paper vs measured MRED)")
+    print(render_operator_table(catalog, kind="adder", measure=True, samples=20000))
+
+    # Published ordering must be preserved per width by the behavioural models.
+    for width in (8, 16):
+        measured = [row["mred_measured"] for row in rows if row["width"] == width]
+        assert measured == sorted(measured)
+    # Exact entries stay exact.
+    assert rows[0]["mred_measured"] == 0.0

@@ -1,0 +1,43 @@
+"""Table II — selected multipliers from the (reproduced) EvoApproxLib catalog.
+
+Regenerates the multiplier rows: operator name, published MRED / power /
+delay, plus the re-measured MRED of the behavioural stand-in.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_operator_table
+from repro.operators import characterize, default_catalog
+
+
+def _characterize_multipliers(samples: int):
+    catalog = default_catalog()
+    rows = []
+    for entry in catalog.multipliers:
+        report = characterize(catalog.instance(entry.name), samples=samples)
+        rows.append(
+            {
+                "operator": entry.name,
+                "width": entry.width,
+                "mred_paper": entry.published.mred_percent,
+                "mred_measured": round(report.mred_percent, 3),
+                "power_mw": entry.published.power_mw,
+                "time_ns": entry.published.delay_ns,
+            }
+        )
+    return catalog, rows
+
+
+def test_table2_multipliers(benchmark):
+    catalog, rows = benchmark.pedantic(
+        lambda: _characterize_multipliers(samples=20000), iterations=1, rounds=1
+    )
+    benchmark.extra_info["table2"] = rows
+
+    print("\nTable II — selected multipliers (paper vs measured MRED)")
+    print(render_operator_table(catalog, kind="multiplier", measure=True, samples=20000))
+
+    for width in (8, 32):
+        measured = [row["mred_measured"] for row in rows if row["width"] == width]
+        assert measured == sorted(measured)
+    assert rows[0]["mred_measured"] == 0.0

@@ -1,0 +1,79 @@
+"""Shared helpers for the reproduction benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper
+(or one ablation called out in DESIGN.md).  The pytest-benchmark fixture
+times the regeneration; the reproduced rows/series are printed to stdout and
+attached to ``benchmark.extra_info`` so they survive in the JSON report.
+
+The default exploration budgets are reduced from the paper's 10,000 steps so
+the whole harness runs in a few minutes; pass ``--paper-scale`` to use the
+full budgets and benchmark sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import QLearningAgent
+from repro.agents.schedules import LinearDecayEpsilon
+from repro.benchmarks import FirBenchmark, MatMulBenchmark
+from repro.dse import AxcDseEnv, Explorer
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the benchmark harness at the paper's full sizes and step budgets",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request):
+    return request.config.getoption("--paper-scale")
+
+
+@pytest.fixture(scope="session")
+def exploration_budget(paper_scale):
+    """Maximum exploration steps per benchmark configuration."""
+    return 10_000 if paper_scale else 2_000
+
+
+def paper_benchmark_suite(paper_scale: bool):
+    """The four Table-III benchmark configurations (scaled down by default)."""
+    if paper_scale:
+        return {
+            "matmul_10x10": MatMulBenchmark(rows=10, inner=10, cols=10),
+            "matmul_50x50": MatMulBenchmark(rows=50, inner=50, cols=50),
+            "fir_100": FirBenchmark(num_samples=100),
+            "fir_200": FirBenchmark(num_samples=200),
+        }
+    return {
+        "matmul_10x10": MatMulBenchmark(rows=10, inner=10, cols=10),
+        "matmul_50x50": MatMulBenchmark(rows=20, inner=20, cols=20),
+        "fir_100": FirBenchmark(num_samples=100),
+        "fir_200": FirBenchmark(num_samples=200),
+    }
+
+
+def run_q_learning(benchmark_kernel, max_steps: int, seed: int = 0):
+    """One Q-learning exploration with the defaults used across the harness."""
+    environment = AxcDseEnv(benchmark_kernel, evaluation_seed=seed)
+    agent = QLearningAgent(
+        num_actions=environment.action_space.n,
+        epsilon=LinearDecayEpsilon(start=1.0, end=0.05, decay_steps=max(max_steps // 4, 1)),
+        seed=seed,
+    )
+    result = Explorer(environment, agent, max_steps=max_steps).run(seed=seed)
+    return environment, result
+
+
+def summarize_objective(summary):
+    """Render an ObjectiveSummary as the min/solution/max triple of Table III."""
+    return {
+        "min": round(summary.minimum, 3),
+        "solution": round(summary.solution, 3),
+        "max": round(summary.maximum, 3),
+    }

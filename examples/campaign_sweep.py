@@ -1,0 +1,76 @@
+"""Multi-seed exploration campaign with CSV/JSON export.
+
+Run with::
+
+    python examples/campaign_sweep.py [--seeds 3] [--steps 1500] [--out results/]
+
+A single exploration is noisy (one -R constraint violation changes a whole
+reward window), so a practical evaluation repeats the exploration over
+several seeds.  This example runs the paper's two benchmark families over a
+seed sweep with :class:`repro.dse.Campaign`, prints the per-benchmark
+aggregate statistics, and exports every trace to CSV plus a JSON summary —
+ready to be plotted into Figures 2-4 with any external tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.agents import QLearningAgent
+from repro.agents.schedules import LinearDecayEpsilon
+from repro.analysis import write_result_json, write_trace_csv
+from repro.benchmarks import FirBenchmark, MatMulBenchmark
+from repro.dse import Campaign
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=3, help="number of seeds per benchmark")
+    parser.add_argument("--steps", type=int, default=1500, help="exploration steps per run")
+    parser.add_argument("--out", type=Path, default=Path("campaign_results"),
+                        help="directory for the exported CSV/JSON files")
+    args = parser.parse_args()
+
+    def agent_factory(environment, seed):
+        return QLearningAgent(
+            num_actions=environment.action_space.n,
+            epsilon=LinearDecayEpsilon(start=1.0, end=0.05, decay_steps=max(args.steps // 4, 1)),
+            seed=seed,
+        )
+
+    campaign = Campaign(
+        benchmarks={
+            "matmul_10x10": MatMulBenchmark(rows=10, inner=10, cols=10),
+            "fir_100": FirBenchmark(num_samples=100),
+        },
+        agent_factory=agent_factory,
+        max_steps=args.steps,
+        seeds=tuple(range(args.seeds)),
+    )
+
+    print(f"Running {len(campaign.benchmark_labels)} benchmarks x {args.seeds} seeds "
+          f"x {args.steps} steps ...")
+    entries = campaign.run()
+
+    print("\nPer-benchmark aggregates over seeds")
+    for label, summary in Campaign.summarize(entries).items():
+        best = "-" if summary.best_feasible_power_mw is None else \
+            f"{summary.best_feasible_power_mw:.1f} mW"
+        print(f"  {label:14s} runs={summary.runs}  "
+              f"mean solution Δpower={summary.mean_solution_power_mw:.1f} mW  "
+              f"Δtime={summary.mean_solution_time_ns:.1f} ns  "
+              f"Δacc={summary.mean_solution_accuracy:.1f}  "
+              f"feasible={100 * summary.mean_feasible_fraction:.0f} %  "
+              f"best feasible Δpower={best}")
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    for entry in entries:
+        stem = f"{entry.benchmark_label}_seed{entry.seed}"
+        write_trace_csv(entry.result, args.out / f"{stem}_trace.csv")
+        write_result_json(entry.result, args.out / f"{stem}_summary.json")
+    print(f"\nExported {2 * len(entries)} files to {args.out}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Characterise the approximate operator library and calibrate new entries.
+
+Run with::
+
+    python examples/operator_characterization.py
+
+Shows the three things the operator substrate can do beyond backing the
+explorer:
+
+1. re-measure the MRED of every catalog operator (the Tables I/II check),
+2. characterise a hand-built approximate unit over its native range,
+3. calibrate a behavioural family to a target MRED — the workflow for
+   extending the catalog with additional EvoApproxLib-style operators.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.operators import (
+    DrumMultiplier,
+    LowerOrAdder,
+    calibrate_adder,
+    calibrate_multiplier,
+    characterize,
+    default_catalog,
+)
+
+
+def main() -> None:
+    catalog = default_catalog()
+
+    print("Catalog re-characterisation (paper MRED vs behavioural model MRED)")
+    rows = []
+    for entry in list(catalog.adders) + list(catalog.multipliers):
+        report = characterize(catalog.instance(entry.name), samples=20000)
+        rows.append([
+            entry.name,
+            entry.width,
+            f"{entry.published.mred_percent:.3f}",
+            f"{report.mred_percent:.3f}",
+            f"{report.error_rate:.3f}",
+        ])
+    print(format_table(["operator", "width", "MRED % (paper)", "MRED % (measured)",
+                        "error rate"], rows))
+
+    print("\nCharacterising a custom unit (LOA adder, 8-bit, 5 approximate low bits)")
+    report = characterize(LowerOrAdder(8, cut=5))
+    print(f"  MRED {report.mred_percent:.2f} %  MAE {report.mae:.2f}  "
+          f"worst-case {report.wce:.0f}  error rate {report.error_rate:.2f}")
+
+    print("\nCharacterising a DRUM multiplier (16-bit, 6 significant bits)")
+    report = characterize(DrumMultiplier(16, k=6))
+    print(f"  MRED {report.mred_percent:.2f} %  MAE {report.mae:.2f}")
+
+    print("\nCalibrating behavioural families to target MREDs")
+    for target in (0.5, 5.0, 20.0):
+        result = calibrate_adder(8, target_mred_percent=target, samples=10000)
+        print(f"  adder target {target:5.1f} % -> {result.operator!r} "
+              f"(measured {result.measured_mred_percent:.2f} %)")
+    for target in (1.0, 10.0):
+        result = calibrate_multiplier(8, target_mred_percent=target, samples=10000)
+        print(f"  multiplier target {target:5.1f} % -> {result.operator!r} "
+              f"(measured {result.measured_mred_percent:.2f} %)")
+
+
+if __name__ == "__main__":
+    main()

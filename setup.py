@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+All metadata lives in ``pyproject.toml``; this file only exists so that
+``pip install -e .`` keeps working on environments whose setuptools/pip lack
+the ``wheel`` package needed for PEP 660 editable installs (the offline
+evaluation machine is one of them).
+"""
+
+from setuptools import setup
+
+setup()

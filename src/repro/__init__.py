@@ -1,0 +1,70 @@
+"""Reproduction of "Design Space Exploration of Approximate Computing
+Techniques with a Reinforcement Learning Approach" (Saeedi, Savino,
+Di Carlo — DSN 2023 / arXiv:2312.17525).
+
+The package provides everything the paper's methodology needs, implemented
+from scratch:
+
+* :mod:`repro.operators` — behavioural models and characterisation of the
+  approximate adders / multipliers (the EvoApproxLib stand-in, Tables I-II);
+* :mod:`repro.instrumentation` — the execution context that redirects the
+  arithmetic of selected variables to the approximate units and counts
+  operations;
+* :mod:`repro.benchmarks` — Matrix Multiplication, FIR and further
+  approximable kernels;
+* :mod:`repro.gymlite` — a minimal Gymnasium-compatible RL substrate;
+* :mod:`repro.dse` — the multi-objective design space, thresholds,
+  Algorithm-1 reward, environment and exploration driver;
+* :mod:`repro.agents` — tabular Q-learning (the paper's agent), SARSA,
+  random search, and metaheuristic baselines;
+* :mod:`repro.analysis` — trend lines, reward curves and table rendering
+  used to regenerate the paper's figures and tables.
+
+Quickstart::
+
+    from repro import AxcDseEnv, QLearningAgent, explore
+    from repro.benchmarks import MatMulBenchmark
+
+    env = AxcDseEnv(MatMulBenchmark(rows=10, inner=10, cols=10))
+    agent = QLearningAgent(num_actions=env.action_space.n)
+    result = explore(env, agent, max_steps=2000, seed=0)
+    print(result.table3_row(env.evaluator.catalog))
+"""
+
+from repro.agents import QLearningAgent, RandomAgent, SarsaAgent
+from repro.benchmarks import Benchmark, FirBenchmark, MatMulBenchmark
+from repro.dse import (
+    Algorithm1Reward,
+    AxcDseEnv,
+    DesignPoint,
+    DesignSpace,
+    ExplorationResult,
+    ExplorationThresholds,
+    Explorer,
+    Evaluator,
+    explore,
+)
+from repro.operators import OperatorCatalog, default_catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AxcDseEnv",
+    "Explorer",
+    "explore",
+    "Evaluator",
+    "DesignPoint",
+    "DesignSpace",
+    "ExplorationResult",
+    "ExplorationThresholds",
+    "Algorithm1Reward",
+    "QLearningAgent",
+    "SarsaAgent",
+    "RandomAgent",
+    "Benchmark",
+    "MatMulBenchmark",
+    "FirBenchmark",
+    "OperatorCatalog",
+    "default_catalog",
+]

@@ -1,0 +1,41 @@
+"""Learning agents and baseline explorers for the design-space exploration."""
+
+from repro.agents.base import (
+    Agent,
+    ConfigurationEncoder,
+    StateEncoder,
+    ThresholdBucketEncoder,
+)
+from repro.agents.baselines import (
+    ExhaustiveExplorer,
+    GeneticExplorer,
+    HillClimbingExplorer,
+    SimulatedAnnealingExplorer,
+)
+from repro.agents.qlearning import QLearningAgent
+from repro.agents.random_agent import RandomAgent
+from repro.agents.sarsa import SarsaAgent
+from repro.agents.schedules import (
+    ConstantEpsilon,
+    EpsilonSchedule,
+    ExponentialDecayEpsilon,
+    LinearDecayEpsilon,
+)
+
+__all__ = [
+    "Agent",
+    "StateEncoder",
+    "ConfigurationEncoder",
+    "ThresholdBucketEncoder",
+    "QLearningAgent",
+    "SarsaAgent",
+    "RandomAgent",
+    "EpsilonSchedule",
+    "ConstantEpsilon",
+    "LinearDecayEpsilon",
+    "ExponentialDecayEpsilon",
+    "SimulatedAnnealingExplorer",
+    "GeneticExplorer",
+    "HillClimbingExplorer",
+    "ExhaustiveExplorer",
+]

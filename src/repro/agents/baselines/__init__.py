@@ -1,0 +1,24 @@
+"""Non-RL design-space-exploration baselines.
+
+These explorers search the same design space through the same evaluator as
+the RL agent, so their traces are directly comparable: simulated annealing
+and a genetic algorithm (the metaheuristics the RL literature positions
+itself against), greedy hill climbing, and exhaustive search as the
+small-space ground truth.
+"""
+
+from repro.agents.baselines.common import BaselineRecorder, default_thresholds, fitness
+from repro.agents.baselines.exhaustive import ExhaustiveExplorer
+from repro.agents.baselines.genetic import GeneticExplorer
+from repro.agents.baselines.hill_climbing import HillClimbingExplorer
+from repro.agents.baselines.simulated_annealing import SimulatedAnnealingExplorer
+
+__all__ = [
+    "fitness",
+    "default_thresholds",
+    "BaselineRecorder",
+    "SimulatedAnnealingExplorer",
+    "GeneticExplorer",
+    "HillClimbingExplorer",
+    "ExhaustiveExplorer",
+]

@@ -1,0 +1,49 @@
+"""Exhaustive-search baseline: the ground truth for small design spaces.
+
+With the paper's catalog (12 adders x 12 multipliers) and the three
+variables of the paper's benchmarks, the design space has 1,152 points, so
+exhaustive evaluation is feasible and provides the reference optimum the
+other explorers can be compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.agents.baselines.common import BaselineRecorder, default_thresholds, fitness
+from repro.dse.evaluator import Evaluator
+from repro.dse.results import ExplorationResult
+from repro.dse.thresholds import ExplorationThresholds
+from repro.errors import ConfigurationError
+
+__all__ = ["ExhaustiveExplorer"]
+
+
+class ExhaustiveExplorer:
+    """Evaluates every design point (optionally up to a budget)."""
+
+    name = "exhaustive"
+
+    def __init__(self, evaluator: Evaluator, thresholds: Optional[ExplorationThresholds] = None,
+                 max_evaluations: Optional[int] = None) -> None:
+        if max_evaluations is not None and max_evaluations <= 0:
+            raise ConfigurationError(f"max_evaluations must be positive, got {max_evaluations}")
+        self._evaluator = evaluator
+        self._thresholds = thresholds or default_thresholds(evaluator)
+        self._max_evaluations = max_evaluations
+
+    def run(self) -> ExplorationResult:
+        """Evaluate the whole space and return the trace (best point last)."""
+        recorder = BaselineRecorder(self._evaluator, self._thresholds, self.name)
+
+        best = None
+        best_fitness = float("-inf")
+        for point in self._evaluator.design_space.enumerate():
+            if (self._max_evaluations is not None
+                    and recorder.num_evaluations >= self._max_evaluations):
+                break
+            point_fitness = fitness(recorder.evaluate(point).deltas, self._thresholds)
+            if point_fitness > best_fitness:
+                best, best_fitness = point, point_fitness
+
+        return recorder.result(best_point=best)

@@ -1,0 +1,113 @@
+"""Genetic-algorithm baseline explorer.
+
+A straightforward generational GA over design points: tournament selection,
+uniform crossover of the (adder, multiplier, variable-mask) genome, and
+per-gene mutation.  Together with simulated annealing it represents the
+classic metaheuristic DSE approaches the RL method is positioned against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.agents.baselines.common import BaselineRecorder, default_thresholds, fitness
+from repro.dse.design_space import DesignPoint
+from repro.dse.evaluator import Evaluator
+from repro.dse.results import ExplorationResult
+from repro.dse.thresholds import ExplorationThresholds
+from repro.errors import ConfigurationError
+
+__all__ = ["GeneticExplorer"]
+
+
+class GeneticExplorer:
+    """Generational genetic algorithm over the design space."""
+
+    name = "genetic"
+
+    def __init__(self, evaluator: Evaluator, thresholds: Optional[ExplorationThresholds] = None,
+                 population_size: int = 16, generations: int = 20, mutation_rate: float = 0.2,
+                 tournament_size: int = 3, seed: int = 0) -> None:
+        if population_size < 2:
+            raise ConfigurationError(f"population_size must be at least 2, got {population_size}")
+        if generations <= 0:
+            raise ConfigurationError(f"generations must be positive, got {generations}")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ConfigurationError(f"mutation_rate must be in [0, 1], got {mutation_rate}")
+        if tournament_size < 1:
+            raise ConfigurationError(f"tournament_size must be at least 1, got {tournament_size}")
+        self._evaluator = evaluator
+        self._thresholds = thresholds or default_thresholds(evaluator)
+        self._population_size = int(population_size)
+        self._generations = int(generations)
+        self._mutation_rate = float(mutation_rate)
+        self._tournament_size = int(tournament_size)
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------- operators
+
+    def _crossover(self, first: DesignPoint, second: DesignPoint) -> DesignPoint:
+        adder = first.adder_index if self._rng.random() < 0.5 else second.adder_index
+        multiplier = (
+            first.multiplier_index if self._rng.random() < 0.5 else second.multiplier_index
+        )
+        variables = tuple(
+            f if self._rng.random() < 0.5 else s
+            for f, s in zip(first.variables, second.variables)
+        )
+        return DesignPoint(adder, multiplier, variables)
+
+    def _mutate(self, point: DesignPoint) -> DesignPoint:
+        space = self._evaluator.design_space
+        adder = point.adder_index
+        multiplier = point.multiplier_index
+        variables = list(point.variables)
+        if self._rng.random() < self._mutation_rate:
+            adder = int(self._rng.integers(1, space.num_adders + 1))
+        if self._rng.random() < self._mutation_rate:
+            multiplier = int(self._rng.integers(1, space.num_multipliers + 1))
+        for position in range(len(variables)):
+            if self._rng.random() < self._mutation_rate:
+                variables[position] = not variables[position]
+        return DesignPoint(adder, multiplier, tuple(variables))
+
+    def _tournament(self, scored: List[Tuple[DesignPoint, float]]) -> DesignPoint:
+        indices = self._rng.integers(0, len(scored), size=self._tournament_size)
+        best_index = max(indices, key=lambda index: scored[index][1])
+        return scored[best_index][0]
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> ExplorationResult:
+        """Run the GA and return its exploration trace."""
+        space = self._evaluator.design_space
+        recorder = BaselineRecorder(self._evaluator, self._thresholds, self.name)
+
+        population = [space.random_point(self._rng) for _ in range(self._population_size)]
+        best: Optional[DesignPoint] = None
+        best_fitness = -np.inf
+
+        for _ in range(self._generations):
+            scored: List[Tuple[DesignPoint, float]] = []
+            for individual in population:
+                individual_fitness = fitness(
+                    recorder.evaluate(individual).deltas, self._thresholds
+                )
+                scored.append((individual, individual_fitness))
+                if individual_fitness > best_fitness:
+                    best, best_fitness = individual, individual_fitness
+
+            next_population: List[DesignPoint] = []
+            # Elitism: carry the best individual over unchanged.
+            elite = max(scored, key=lambda pair: pair[1])[0]
+            next_population.append(elite)
+            while len(next_population) < self._population_size:
+                parent_a = self._tournament(scored)
+                parent_b = self._tournament(scored)
+                child = self._mutate(self._crossover(parent_a, parent_b))
+                next_population.append(child)
+            population = next_population
+
+        return recorder.result(best_point=best)

@@ -1,0 +1,68 @@
+"""Greedy hill-climbing baseline explorer with random restarts."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.agents.baselines.common import BaselineRecorder, default_thresholds, fitness
+from repro.dse.evaluator import Evaluator
+from repro.dse.results import ExplorationResult
+from repro.dse.thresholds import ExplorationThresholds
+from repro.errors import ConfigurationError
+
+__all__ = ["HillClimbingExplorer"]
+
+
+class HillClimbingExplorer:
+    """Steepest-ascent hill climbing over the single-knob neighbourhood.
+
+    From the current point, every neighbour (one adder/multiplier step or
+    one variable toggle — the same moves the RL agent can make) is
+    evaluated; the best one is taken if it improves the fitness, otherwise
+    the search restarts from a random point until the evaluation budget is
+    exhausted.
+    """
+
+    name = "hill-climbing"
+
+    def __init__(self, evaluator: Evaluator, thresholds: Optional[ExplorationThresholds] = None,
+                 max_evaluations: int = 500, seed: int = 0) -> None:
+        if max_evaluations <= 0:
+            raise ConfigurationError(f"max_evaluations must be positive, got {max_evaluations}")
+        self._evaluator = evaluator
+        self._thresholds = thresholds or default_thresholds(evaluator)
+        self._max_evaluations = int(max_evaluations)
+        self._rng = np.random.default_rng(seed)
+
+    def run(self) -> ExplorationResult:
+        """Run the climb (with restarts) and return its exploration trace."""
+        space = self._evaluator.design_space
+        recorder = BaselineRecorder(self._evaluator, self._thresholds, self.name)
+
+        current = space.initial_point()
+        current_fitness = fitness(recorder.evaluate(current).deltas, self._thresholds)
+        best, best_fitness = current, current_fitness
+
+        while recorder.num_evaluations < self._max_evaluations:
+            improved = False
+            for neighbor in space.neighbors(current):
+                if recorder.num_evaluations >= self._max_evaluations:
+                    break
+                neighbor_fitness = fitness(recorder.evaluate(neighbor).deltas, self._thresholds)
+                if neighbor_fitness > current_fitness:
+                    current, current_fitness = neighbor, neighbor_fitness
+                    improved = True
+                if neighbor_fitness > best_fitness:
+                    best, best_fitness = neighbor, neighbor_fitness
+            if not improved:
+                # Local optimum: restart from a random point.
+                current = space.random_point(self._rng)
+                if recorder.num_evaluations >= self._max_evaluations:
+                    break
+                current_fitness = fitness(recorder.evaluate(current).deltas, self._thresholds)
+                if current_fitness > best_fitness:
+                    best, best_fitness = current, current_fitness
+
+        return recorder.result(best_point=best)

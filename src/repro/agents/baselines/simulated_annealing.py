@@ -1,0 +1,75 @@
+"""Simulated-annealing baseline explorer.
+
+Simulated annealing is one of the classic DSE heuristics the paper cites as
+the alternative RL is compared against in the literature.  The explorer
+walks the design space through the same single-knob moves as the RL agent
+(neighbouring design points) and accepts worsening moves with a probability
+that decays with a geometric temperature schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.agents.baselines.common import BaselineRecorder, default_thresholds, fitness
+from repro.dse.evaluator import Evaluator
+from repro.dse.results import ExplorationResult
+from repro.dse.thresholds import ExplorationThresholds
+from repro.errors import ConfigurationError
+
+__all__ = ["SimulatedAnnealingExplorer"]
+
+
+class SimulatedAnnealingExplorer:
+    """Single-chain simulated annealing over the design space."""
+
+    name = "simulated-annealing"
+
+    def __init__(self, evaluator: Evaluator, thresholds: Optional[ExplorationThresholds] = None,
+                 max_evaluations: int = 500, initial_temperature: float = 2.0,
+                 cooling_rate: float = 0.995, seed: int = 0) -> None:
+        if max_evaluations <= 0:
+            raise ConfigurationError(f"max_evaluations must be positive, got {max_evaluations}")
+        if initial_temperature <= 0:
+            raise ConfigurationError(
+                f"initial_temperature must be positive, got {initial_temperature}"
+            )
+        if not 0.0 < cooling_rate < 1.0:
+            raise ConfigurationError(f"cooling_rate must be in (0, 1), got {cooling_rate}")
+        self._evaluator = evaluator
+        self._thresholds = thresholds or default_thresholds(evaluator)
+        self._max_evaluations = int(max_evaluations)
+        self._initial_temperature = float(initial_temperature)
+        self._cooling_rate = float(cooling_rate)
+        self._rng = np.random.default_rng(seed)
+
+    def run(self) -> ExplorationResult:
+        """Run the annealing chain and return its exploration trace."""
+        space = self._evaluator.design_space
+        recorder = BaselineRecorder(self._evaluator, self._thresholds, self.name)
+
+        current = space.initial_point()
+        current_fitness = fitness(recorder.evaluate(current).deltas, self._thresholds)
+        best, best_fitness = current, current_fitness
+
+        temperature = self._initial_temperature
+        while recorder.num_evaluations < self._max_evaluations:
+            neighbors = list(space.neighbors(current))
+            candidate = neighbors[int(self._rng.integers(len(neighbors)))]
+            candidate_fitness = fitness(recorder.evaluate(candidate).deltas, self._thresholds)
+
+            accept = candidate_fitness >= current_fitness
+            if not accept:
+                probability = float(
+                    np.exp((candidate_fitness - current_fitness) / max(temperature, 1e-9))
+                )
+                accept = self._rng.random() < probability
+            if accept:
+                current, current_fitness = candidate, candidate_fitness
+            if candidate_fitness > best_fitness:
+                best, best_fitness = candidate, candidate_fitness
+            temperature *= self._cooling_rate
+
+        return recorder.result(best_point=best)

@@ -1,0 +1,31 @@
+"""Uniform-random agent: the no-learning lower bound for the agent ablation."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.agents.base import Agent
+from repro.errors import ConfigurationError
+
+__all__ = ["RandomAgent"]
+
+
+class RandomAgent(Agent):
+    """Selects every action uniformly at random and never learns."""
+
+    name = "random"
+
+    def __init__(self, num_actions: int, seed: Optional[int] = 0) -> None:
+        if num_actions <= 0:
+            raise ConfigurationError(f"num_actions must be positive, got {num_actions}")
+        self.num_actions = int(num_actions)
+        self._rng = np.random.default_rng(seed)
+
+    def select_action(self, observation: Mapping[str, Any]) -> int:
+        return int(self._rng.integers(self.num_actions))
+
+    def update(self, observation: Mapping[str, Any], action: int, reward: float,
+               next_observation: Mapping[str, Any], terminated: bool) -> None:
+        """Random agents do not learn; the transition is ignored."""

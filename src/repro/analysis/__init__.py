@@ -1,0 +1,40 @@
+"""Post-processing of exploration traces: trends, reward curves, reports."""
+
+from repro.analysis.export import (
+    result_to_dict,
+    trace_rows,
+    write_result_json,
+    write_trace_csv,
+)
+from repro.analysis.reporting import (
+    format_table,
+    render_comparison,
+    render_operator_table,
+    render_table3,
+)
+from repro.analysis.reward_curves import (
+    RewardCurve,
+    improvement_ratio,
+    reward_curve,
+    reward_curves,
+)
+from repro.analysis.trends import TrendLine, exploration_trace, fit_trend, trace_trends
+
+__all__ = [
+    "TrendLine",
+    "fit_trend",
+    "exploration_trace",
+    "trace_trends",
+    "RewardCurve",
+    "reward_curve",
+    "reward_curves",
+    "improvement_ratio",
+    "format_table",
+    "render_operator_table",
+    "render_table3",
+    "render_comparison",
+    "trace_rows",
+    "write_trace_csv",
+    "result_to_dict",
+    "write_result_json",
+]

@@ -1,0 +1,97 @@
+"""Export exploration traces to CSV / JSON for external plotting.
+
+The paper's figures are scatter/line plots over the per-step series; this
+module serialises an :class:`~repro.dse.results.ExplorationResult` so those
+plots can be drawn with any external tool (matplotlib, gnuplot, a
+spreadsheet) without depending on a plotting library here.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.dse.results import ExplorationResult
+from repro.errors import AnalysisError
+
+__all__ = ["trace_rows", "write_trace_csv", "result_to_dict", "write_result_json"]
+
+PathLike = Union[str, Path]
+
+
+def trace_rows(result: ExplorationResult) -> list:
+    """Per-step rows: step, action, configuration, deltas, reward."""
+    rows = []
+    for record in result.records:
+        rows.append(
+            {
+                "step": record.step,
+                "action": record.action,
+                "adder_index": record.point.adder_index,
+                "multiplier_index": record.point.multiplier_index,
+                "variables": "".join("1" if flag else "0" for flag in record.point.variables),
+                "delta_accuracy": record.deltas.accuracy,
+                "delta_power_mw": record.deltas.power_mw,
+                "delta_time_ns": record.deltas.time_ns,
+                "reward": record.reward,
+                "cumulative_reward": record.cumulative_reward,
+                "constraint_violated": record.constraint_violated,
+            }
+        )
+    return rows
+
+
+def write_trace_csv(result: ExplorationResult, path: PathLike) -> Path:
+    """Write the per-step trace as CSV and return the path written."""
+    rows = trace_rows(result)
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def result_to_dict(result: ExplorationResult) -> Dict[str, object]:
+    """A JSON-serialisable summary of the exploration."""
+    power = result.power_summary()
+    time = result.time_summary()
+    accuracy = result.accuracy_summary()
+    return {
+        "benchmark": result.benchmark_name,
+        "agent": result.agent_name,
+        "steps": result.num_steps,
+        "terminated": result.terminated,
+        "thresholds": {
+            "accuracy": result.thresholds.accuracy,
+            "power_mw": result.thresholds.power_mw,
+            "time_ns": result.thresholds.time_ns,
+        },
+        "precise_cost": {
+            "power_mw": result.precise_cost.power_mw,
+            "time_ns": result.precise_cost.time_ns,
+            "operations": result.precise_cost.operation_count,
+        },
+        "power_mw": {"min": power.minimum, "solution": power.solution, "max": power.maximum},
+        "time_ns": {"min": time.minimum, "solution": time.solution, "max": time.maximum},
+        "accuracy": {"min": accuracy.minimum, "solution": accuracy.solution,
+                     "max": accuracy.maximum},
+        "feasible_fraction": result.feasible_fraction(),
+        "solution_point": {
+            "adder_index": result.solution.point.adder_index,
+            "multiplier_index": result.solution.point.multiplier_index,
+            "variables": list(result.solution.point.variables),
+        },
+        "metadata": dict(result.metadata),
+    }
+
+
+def write_result_json(result: ExplorationResult, path: PathLike, indent: int = 2) -> Path:
+    """Write the exploration summary as JSON and return the path written."""
+    if indent < 0:
+        raise AnalysisError(f"indent must be non-negative, got {indent}")
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result), indent=indent, sort_keys=True))
+    return path

@@ -1,0 +1,65 @@
+"""Average-reward learning curves (Figure 4).
+
+Figure 4 of the paper plots the reward averaged over consecutive windows of
+100 steps for the Matrix-Multiplication and FIR explorations, to show
+whether the agent's behaviour improves over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+from repro.dse.results import ExplorationResult
+from repro.errors import AnalysisError
+
+__all__ = ["RewardCurve", "reward_curve", "reward_curves", "improvement_ratio"]
+
+
+@dataclass(frozen=True)
+class RewardCurve:
+    """Average reward per window for one exploration."""
+
+    benchmark_name: str
+    window: int
+    averages: np.ndarray
+
+    @property
+    def num_windows(self) -> int:
+        return int(self.averages.size)
+
+    def window_centers(self) -> np.ndarray:
+        """Step index at the centre of each window (the figure's x-axis)."""
+        return (np.arange(self.num_windows, dtype=np.float64) + 0.5) * self.window
+
+
+def reward_curve(result: ExplorationResult, window: int = 100) -> RewardCurve:
+    """Average reward per ``window`` steps for one exploration."""
+    averages = result.average_reward(window=window)
+    return RewardCurve(benchmark_name=result.benchmark_name, window=window, averages=averages)
+
+
+def reward_curves(results: Iterable[ExplorationResult],
+                  window: int = 100) -> Dict[str, RewardCurve]:
+    """Reward curves for several explorations, keyed by benchmark name."""
+    curves: Dict[str, RewardCurve] = {}
+    for result in results:
+        curve = reward_curve(result, window=window)
+        curves[curve.benchmark_name] = curve
+    return curves
+
+
+def improvement_ratio(curve: RewardCurve) -> float:
+    """How much the average reward improved from the first to the last window.
+
+    Positive values mean the agent's behaviour improved over the exploration
+    (the paper's Matrix-Multiplication case); values near zero or negative
+    mean it did not (the paper's FIR case).
+    """
+    if curve.num_windows == 0:
+        raise AnalysisError("cannot compute improvement of an empty reward curve")
+    if curve.num_windows == 1:
+        return 0.0
+    return float(curve.averages[-1] - curve.averages[0])

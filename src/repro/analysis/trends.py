@@ -1,0 +1,67 @@
+"""Per-step exploration traces and their trend lines (Figures 2 and 3).
+
+Figures 2 and 3 of the paper plot, for every exploration step, the power and
+computation-time reduction and the accuracy degradation, together with
+linear trend lines that make the learning direction visible.  These helpers
+extract the same series and fit the same trend lines from an
+:class:`~repro.dse.results.ExplorationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.dse.results import ExplorationResult
+from repro.errors import AnalysisError
+
+__all__ = ["TrendLine", "fit_trend", "exploration_trace", "trace_trends"]
+
+
+@dataclass(frozen=True)
+class TrendLine:
+    """A least-squares linear fit ``value ~ slope * step + intercept``."""
+
+    slope: float
+    intercept: float
+
+    def predict(self, steps: np.ndarray) -> np.ndarray:
+        """Evaluate the trend line at the given step indices."""
+        return self.slope * np.asarray(steps, dtype=np.float64) + self.intercept
+
+    @property
+    def increasing(self) -> bool:
+        """True when the series trends upward over the exploration."""
+        return self.slope > 0
+
+
+def fit_trend(series: np.ndarray) -> TrendLine:
+    """Least-squares linear trend of a per-step series."""
+    values = np.asarray(series, dtype=np.float64).ravel()
+    if values.size < 2:
+        raise AnalysisError("a trend line requires at least two points")
+    steps = np.arange(values.size, dtype=np.float64)
+    slope, intercept = np.polyfit(steps, values, deg=1)
+    return TrendLine(slope=float(slope), intercept=float(intercept))
+
+
+def exploration_trace(result: ExplorationResult) -> Dict[str, np.ndarray]:
+    """The three per-step series of Figures 2-3 plus the step axis."""
+    return {
+        "step": np.arange(result.num_steps, dtype=np.int64),
+        "power_mw": result.power_series(),
+        "time_ns": result.time_series(),
+        "accuracy": result.accuracy_series(),
+    }
+
+
+def trace_trends(result: ExplorationResult) -> Dict[str, TrendLine]:
+    """Trend lines of the three series (the dashed lines of Figures 2-3)."""
+    trace = exploration_trace(result)
+    return {
+        "power_mw": fit_trend(trace["power_mw"]),
+        "time_ns": fit_trend(trace["time_ns"]),
+        "accuracy": fit_trend(trace["accuracy"]),
+    }

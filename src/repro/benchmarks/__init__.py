@@ -1,0 +1,36 @@
+"""Approximable application benchmarks.
+
+The paper evaluates Matrix Multiplication and a low-pass FIR filter; the
+library additionally ships 2-D convolution, blocked DCT-II, Sobel edge
+detection, dot product and a K-means assignment step — the application
+classes the approximate-computing literature routinely targets — so the
+explorer can be exercised on a wider set of kernels.
+"""
+
+from repro.benchmarks.base import Benchmark, BenchmarkRun
+from repro.benchmarks.convolution import Convolution2DBenchmark
+from repro.benchmarks.dct import DctBenchmark
+from repro.benchmarks.dotproduct import DotProductBenchmark
+from repro.benchmarks.fir import FirBenchmark
+from repro.benchmarks.kmeans import KMeansAssignBenchmark
+from repro.benchmarks.matmul import MatMulBenchmark
+from repro.benchmarks.registry import available, create, paper_benchmarks, register
+from repro.benchmarks.sobel import SobelBenchmark
+from repro.benchmarks import workloads
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkRun",
+    "MatMulBenchmark",
+    "FirBenchmark",
+    "Convolution2DBenchmark",
+    "DctBenchmark",
+    "SobelBenchmark",
+    "DotProductBenchmark",
+    "KMeansAssignBenchmark",
+    "register",
+    "create",
+    "available",
+    "paper_benchmarks",
+    "workloads",
+]

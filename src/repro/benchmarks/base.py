@@ -1,0 +1,91 @@
+"""Benchmark abstraction.
+
+A benchmark is an application kernel whose arithmetic is routed through an
+:class:`~repro.instrumentation.context.ApproxContext`.  It declares the set
+of program variables the design-space explorer may select for approximation
+and the bit-width class of its precise additions and multiplications (which
+decides the exact reference units used for the power / time baseline).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.instrumentation.context import ApproxContext
+
+__all__ = ["Benchmark", "BenchmarkRun"]
+
+
+@dataclass(frozen=True)
+class BenchmarkRun:
+    """Outputs and inputs of one benchmark execution."""
+
+    outputs: np.ndarray
+    inputs: Mapping[str, np.ndarray]
+
+
+class Benchmark(ABC):
+    """Base class for approximable application kernels.
+
+    Subclasses set :attr:`variables`, :attr:`add_width` and :attr:`mul_width`
+    and implement :meth:`generate_inputs` and :meth:`run`.
+    """
+
+    #: Registry / display name of the benchmark.
+    name: str = "benchmark"
+
+    #: Program variables the explorer may select for approximation.
+    variables: Tuple[str, ...] = ()
+
+    #: Bit width of the precise adder the kernel uses.
+    add_width: int = 8
+
+    #: Bit width of the precise multiplier the kernel uses.
+    mul_width: int = 8
+
+    @abstractmethod
+    def generate_inputs(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        """Generate a reproducible workload for the benchmark."""
+
+    @abstractmethod
+    def run(self, context: ApproxContext, inputs: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Execute the kernel through ``context`` and return its flat outputs."""
+
+    # ----------------------------------------------------------- conveniences
+
+    def execute(self, context: ApproxContext, inputs: Mapping[str, np.ndarray]) -> BenchmarkRun:
+        """Run the kernel and bundle the outputs with the inputs used."""
+        self.validate_inputs(inputs)
+        outputs = np.asarray(self.run(context, inputs)).ravel()
+        return BenchmarkRun(outputs=outputs, inputs=dict(inputs))
+
+    def validate_inputs(self, inputs: Mapping[str, np.ndarray]) -> None:
+        """Check that a workload dictionary has the expected entries."""
+        missing = [key for key in self.input_names() if key not in inputs]
+        if missing:
+            raise BenchmarkError(f"{self.name}: missing inputs {missing}")
+
+    def input_names(self) -> Tuple[str, ...]:
+        """Names of the entries :meth:`generate_inputs` produces."""
+        rng = np.random.default_rng(0)
+        return tuple(self.generate_inputs(rng).keys())
+
+    @property
+    def num_variables(self) -> int:
+        """Number of approximable program variables."""
+        return len(self.variables)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.name}: variables={list(self.variables)}, "
+            f"add_width={self.add_width}, mul_width={self.mul_width}"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

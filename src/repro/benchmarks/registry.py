@@ -1,0 +1,67 @@
+"""Benchmark registry.
+
+Benchmarks register a factory under a short name so command-line tools,
+examples and the benchmark harness can construct them from strings, with
+keyword arguments forwarded to the factory (e.g. ``create("matmul",
+rows=50, inner=50, cols=50)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.benchmarks.base import Benchmark
+from repro.benchmarks.convolution import Convolution2DBenchmark
+from repro.benchmarks.dct import DctBenchmark
+from repro.benchmarks.dotproduct import DotProductBenchmark
+from repro.benchmarks.fir import FirBenchmark
+from repro.benchmarks.kmeans import KMeansAssignBenchmark
+from repro.benchmarks.matmul import MatMulBenchmark
+from repro.benchmarks.sobel import SobelBenchmark
+from repro.errors import ConfigurationError, UnknownBenchmarkError
+
+__all__ = ["register", "create", "available", "paper_benchmarks"]
+
+_FACTORIES: Dict[str, Callable[..., Benchmark]] = {}
+
+
+def register(name: str, factory: Callable[..., Benchmark]) -> None:
+    """Register a benchmark factory under ``name``."""
+    if not name:
+        raise ConfigurationError("benchmark name must be non-empty")
+    if name in _FACTORIES:
+        raise ConfigurationError(f"benchmark {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def create(name: str, **kwargs) -> Benchmark:
+    """Instantiate a registered benchmark."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise UnknownBenchmarkError(name) from None
+    return factory(**kwargs)
+
+
+def available() -> Tuple[str, ...]:
+    """Names of every registered benchmark."""
+    return tuple(sorted(_FACTORIES))
+
+
+def paper_benchmarks() -> Dict[str, Benchmark]:
+    """The four benchmark configurations evaluated in the paper (Table III)."""
+    return {
+        "matmul_10x10": MatMulBenchmark(rows=10, inner=10, cols=10),
+        "matmul_50x50": MatMulBenchmark(rows=50, inner=50, cols=50),
+        "fir_100": FirBenchmark(num_samples=100),
+        "fir_200": FirBenchmark(num_samples=200),
+    }
+
+
+register("matmul", MatMulBenchmark)
+register("fir", FirBenchmark)
+register("conv2d", Convolution2DBenchmark)
+register("dct", DctBenchmark)
+register("sobel", SobelBenchmark)
+register("dotproduct", DotProductBenchmark)
+register("kmeans", KMeansAssignBenchmark)

@@ -1,0 +1,86 @@
+"""Workload (input data) generators shared by the benchmarks.
+
+The paper only specifies input distributions ("white noise signals", random
+matrices); these helpers generate equivalent data from a seeded NumPy
+generator so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+
+__all__ = [
+    "white_noise",
+    "random_matrix",
+    "random_image",
+    "lowpass_coefficients",
+    "random_points",
+]
+
+
+def white_noise(rng: np.random.Generator, length: int, amplitude: int = 127) -> np.ndarray:
+    """Integer white noise uniform in ``[-amplitude, amplitude]``."""
+    if length <= 0:
+        raise BenchmarkError(f"signal length must be positive, got {length}")
+    if amplitude <= 0:
+        raise BenchmarkError(f"amplitude must be positive, got {amplitude}")
+    return rng.integers(-amplitude, amplitude + 1, size=length, dtype=np.int64)
+
+
+def random_matrix(rng: np.random.Generator, rows: int, cols: int, value_bits: int = 7) -> np.ndarray:
+    """Matrix of non-negative integers below ``2**value_bits``."""
+    if rows <= 0 or cols <= 0:
+        raise BenchmarkError(f"matrix dimensions must be positive, got {rows}x{cols}")
+    if not 1 <= value_bits <= 16:
+        raise BenchmarkError(f"value_bits must be in [1, 16], got {value_bits}")
+    return rng.integers(0, 1 << value_bits, size=(rows, cols), dtype=np.int64)
+
+
+def random_image(rng: np.random.Generator, height: int, width: int) -> np.ndarray:
+    """8-bit greyscale image with smooth, correlated content.
+
+    Pure uniform noise makes edge-detection kernels meaningless; this blends
+    a low-frequency gradient with mild noise to imitate natural images.
+    """
+    if height <= 0 or width <= 0:
+        raise BenchmarkError(f"image dimensions must be positive, got {height}x{width}")
+    ys = np.linspace(0, 255, height)[:, None]
+    xs = np.linspace(0, 255, width)[None, :]
+    gradient = (ys * 0.5 + xs * 0.5)
+    noise = rng.normal(0, 16, size=(height, width))
+    image = np.clip(gradient + noise, 0, 255)
+    return image.astype(np.int64)
+
+
+def lowpass_coefficients(num_taps: int, scale_bits: int = 7) -> np.ndarray:
+    """Integer-quantised low-pass FIR coefficients (Hamming-windowed sinc).
+
+    The cut-off is fixed at a quarter of the sampling rate, matching the
+    "Low Pass Filter functionality" the paper uses for its FIR benchmark.
+    Coefficients are quantised to ``scale_bits`` fractional bits so the
+    filter runs entirely in integer arithmetic.
+    """
+    if num_taps <= 1:
+        raise BenchmarkError(f"num_taps must be at least 2, got {num_taps}")
+    if not 1 <= scale_bits <= 15:
+        raise BenchmarkError(f"scale_bits must be in [1, 15], got {scale_bits}")
+    cutoff = 0.25
+    n = np.arange(num_taps) - (num_taps - 1) / 2.0
+    sinc = np.sinc(2 * cutoff * n)
+    window = np.hamming(num_taps)
+    taps = sinc * window
+    taps = taps / np.sum(taps)
+    quantised = np.round(taps * (1 << scale_bits)).astype(np.int64)
+    return quantised
+
+
+def random_points(rng: np.random.Generator, num_points: int, dimensions: int,
+                  value_bits: int = 8) -> np.ndarray:
+    """Integer point cloud used by the K-means assignment benchmark."""
+    if num_points <= 0 or dimensions <= 0:
+        raise BenchmarkError(
+            f"points/dimensions must be positive, got {num_points}/{dimensions}"
+        )
+    return rng.integers(0, 1 << value_bits, size=(num_points, dimensions), dtype=np.int64)

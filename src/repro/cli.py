@@ -1,0 +1,166 @@
+"""Command-line interface.
+
+``repro-axc`` (or ``python -m repro.cli``) exposes the main workflows:
+
+* ``characterize`` — print the reproduced Tables I and II;
+* ``explore`` — run one RL exploration on a benchmark and print its
+  Table-III style summary;
+* ``compare`` — run the RL agent and the baselines on the same benchmark;
+* ``list-benchmarks`` — show the registered benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.agents import (
+    GeneticExplorer,
+    HillClimbingExplorer,
+    QLearningAgent,
+    RandomAgent,
+    SarsaAgent,
+    SimulatedAnnealingExplorer,
+)
+from repro.agents.schedules import LinearDecayEpsilon
+from repro.analysis import (
+    render_comparison,
+    render_operator_table,
+    render_table3,
+    reward_curve,
+    trace_trends,
+)
+from repro.benchmarks import available, create
+from repro.dse import AxcDseEnv, Explorer
+from repro.operators import default_catalog
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command-line definition (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-axc",
+        description="RL-based design-space exploration of approximate computing techniques",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    characterize = subparsers.add_parser(
+        "characterize", help="print the reproduced operator tables (Tables I and II)"
+    )
+    characterize.add_argument("--samples", type=int, default=20000,
+                              help="operand pairs per operator for the measured MRED")
+    characterize.add_argument("--no-measure", action="store_true",
+                              help="print only the published characterisation")
+
+    explore_cmd = subparsers.add_parser(
+        "explore", help="run one RL exploration and print its Table-III summary"
+    )
+    explore_cmd.add_argument("--benchmark", default="matmul", choices=sorted(available()),
+                             help="benchmark to explore")
+    explore_cmd.add_argument("--steps", type=int, default=2000, help="maximum exploration steps")
+    explore_cmd.add_argument("--seed", type=int, default=0, help="exploration seed")
+    explore_cmd.add_argument("--agent", default="q-learning",
+                             choices=["q-learning", "sarsa", "random"], help="agent to use")
+    explore_cmd.add_argument("--figures", action="store_true",
+                             help="also print trend lines (Figs 2-3) and the reward curve (Fig 4)")
+
+    compare = subparsers.add_parser(
+        "compare", help="compare the RL agent against the baseline explorers"
+    )
+    compare.add_argument("--benchmark", default="matmul", choices=sorted(available()))
+    compare.add_argument("--steps", type=int, default=1000,
+                         help="RL steps / baseline evaluation budget")
+    compare.add_argument("--seed", type=int, default=0)
+
+    subparsers.add_parser("list-benchmarks", help="list the registered benchmarks")
+    return parser
+
+
+def _build_agent(name: str, num_actions: int, steps: int, seed: int):
+    epsilon = LinearDecayEpsilon(start=1.0, end=0.05, decay_steps=max(steps // 2, 1))
+    if name == "q-learning":
+        return QLearningAgent(num_actions=num_actions, epsilon=epsilon, seed=seed)
+    if name == "sarsa":
+        return SarsaAgent(num_actions=num_actions, epsilon=epsilon, seed=seed)
+    return RandomAgent(num_actions=num_actions, seed=seed)
+
+
+def _command_characterize(args: argparse.Namespace) -> int:
+    catalog = default_catalog()
+    measure = not args.no_measure
+    print("Table I — selected adders")
+    print(render_operator_table(catalog, kind="adder", measure=measure, samples=args.samples))
+    print()
+    print("Table II — selected multipliers")
+    print(render_operator_table(catalog, kind="multiplier", measure=measure,
+                                samples=args.samples))
+    return 0
+
+
+def _command_explore(args: argparse.Namespace) -> int:
+    benchmark = create(args.benchmark)
+    environment = AxcDseEnv(benchmark, evaluation_seed=args.seed)
+    agent = _build_agent(args.agent, environment.action_space.n, args.steps, args.seed)
+    result = Explorer(environment, agent, max_steps=args.steps).run(seed=args.seed)
+
+    catalog = environment.evaluator.catalog
+    print(f"Exploration of {benchmark.name} with {agent.name} "
+          f"({result.num_steps} steps, thresholds: {environment.thresholds})")
+    print(render_table3({benchmark.name: result}, catalog))
+
+    if args.figures:
+        trends = trace_trends(result)
+        print("\nTrend lines (Figures 2-3):")
+        for objective, trend in trends.items():
+            print(f"  {objective}: slope={trend.slope:.6f} intercept={trend.intercept:.3f}")
+        curve = reward_curve(result)
+        print("\nAverage reward per 100 steps (Figure 4):")
+        print("  " + ", ".join(f"{value:.2f}" for value in curve.averages))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    benchmark = create(args.benchmark)
+    environment = AxcDseEnv(benchmark, evaluation_seed=args.seed)
+    results = []
+    for agent_name in ("q-learning", "sarsa", "random"):
+        agent = _build_agent(agent_name, environment.action_space.n, args.steps, args.seed)
+        results.append(Explorer(environment, agent, max_steps=args.steps).run(seed=args.seed))
+
+    evaluator = environment.evaluator
+    thresholds = environment.thresholds
+    budget = args.steps
+    results.append(SimulatedAnnealingExplorer(evaluator, thresholds,
+                                              max_evaluations=budget, seed=args.seed).run())
+    results.append(HillClimbingExplorer(evaluator, thresholds,
+                                        max_evaluations=budget, seed=args.seed).run())
+    results.append(GeneticExplorer(evaluator, thresholds, seed=args.seed).run())
+
+    print(f"Explorer comparison on {benchmark.name} (thresholds: {thresholds})")
+    print(render_comparison(results))
+    return 0
+
+
+def _command_list_benchmarks(_: argparse.Namespace) -> int:
+    for name in sorted(available()):
+        print(name)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    commands = {
+        "characterize": _command_characterize,
+        "explore": _command_explore,
+        "compare": _command_compare,
+        "list-benchmarks": _command_list_benchmarks,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

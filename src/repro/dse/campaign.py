@@ -1,0 +1,130 @@
+"""Exploration campaigns: run several benchmarks / seeds in one sweep.
+
+The paper evaluates four benchmark configurations; a practical user will
+also want to repeat explorations over seeds and compare agents.  A
+:class:`Campaign` owns that loop and returns one
+:class:`~repro.dse.results.ExplorationResult` per (benchmark, seed) pair,
+plus aggregate statistics that smooth out the run-to-run noise of a single
+exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.benchmarks.base import Benchmark
+from repro.dse.environment import AxcDseEnv
+from repro.dse.explorer import Explorer
+from repro.dse.results import ExplorationResult
+from repro.errors import ExplorationError
+
+__all__ = ["CampaignEntry", "CampaignSummary", "Campaign"]
+
+#: Builds an agent for a given environment; receives (environment, seed).
+AgentFactory = Callable[[AxcDseEnv, int], object]
+
+
+@dataclass(frozen=True)
+class CampaignEntry:
+    """One exploration of the campaign."""
+
+    benchmark_label: str
+    seed: int
+    result: ExplorationResult
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """Aggregate statistics over the seeds of one benchmark."""
+
+    benchmark_label: str
+    runs: int
+    mean_solution_power_mw: float
+    mean_solution_time_ns: float
+    mean_solution_accuracy: float
+    mean_feasible_fraction: float
+    best_feasible_power_mw: Optional[float]
+
+
+class Campaign:
+    """Runs one agent family over several benchmarks and seeds.
+
+    Parameters
+    ----------
+    benchmarks:
+        Mapping from label to benchmark instance.
+    agent_factory:
+        Callable building a fresh agent for every (environment, seed) pair.
+    max_steps:
+        Step budget per exploration.
+    seeds:
+        Seeds to repeat every benchmark with.
+    env_kwargs:
+        Extra keyword arguments forwarded to :class:`AxcDseEnv` (thresholds,
+        action scheme, reward function, ...).
+    """
+
+    def __init__(self, benchmarks: Mapping[str, Benchmark], agent_factory: AgentFactory,
+                 max_steps: int = 10_000, seeds: Sequence[int] = (0,),
+                 env_kwargs: Optional[Dict[str, object]] = None) -> None:
+        if not benchmarks:
+            raise ExplorationError("a campaign requires at least one benchmark")
+        if not seeds:
+            raise ExplorationError("a campaign requires at least one seed")
+        if max_steps <= 0:
+            raise ExplorationError(f"max_steps must be positive, got {max_steps}")
+        self._benchmarks = dict(benchmarks)
+        self._agent_factory = agent_factory
+        self._max_steps = int(max_steps)
+        self._seeds = tuple(int(seed) for seed in seeds)
+        self._env_kwargs = dict(env_kwargs or {})
+
+    @property
+    def seeds(self) -> Tuple[int, ...]:
+        return self._seeds
+
+    @property
+    def benchmark_labels(self) -> Tuple[str, ...]:
+        return tuple(self._benchmarks)
+
+    def run(self) -> List[CampaignEntry]:
+        """Run every (benchmark, seed) exploration and return all entries."""
+        entries: List[CampaignEntry] = []
+        for label, benchmark in self._benchmarks.items():
+            for seed in self._seeds:
+                environment = AxcDseEnv(benchmark, evaluation_seed=seed, **self._env_kwargs)
+                agent = self._agent_factory(environment, seed)
+                result = Explorer(environment, agent, max_steps=self._max_steps).run(seed=seed)
+                entries.append(CampaignEntry(benchmark_label=label, seed=seed, result=result))
+        return entries
+
+    @staticmethod
+    def summarize(entries: Iterable[CampaignEntry]) -> Dict[str, CampaignSummary]:
+        """Aggregate campaign entries per benchmark label."""
+        grouped: Dict[str, List[CampaignEntry]] = {}
+        for entry in entries:
+            grouped.setdefault(entry.benchmark_label, []).append(entry)
+
+        summaries: Dict[str, CampaignSummary] = {}
+        for label, group in grouped.items():
+            solutions = [entry.result.solution.deltas for entry in group]
+            best_values = [
+                entry.result.best_feasible().deltas.power_mw
+                for entry in group
+                if entry.result.best_feasible() is not None
+            ]
+            summaries[label] = CampaignSummary(
+                benchmark_label=label,
+                runs=len(group),
+                mean_solution_power_mw=float(np.mean([d.power_mw for d in solutions])),
+                mean_solution_time_ns=float(np.mean([d.time_ns for d in solutions])),
+                mean_solution_accuracy=float(np.mean([d.accuracy for d in solutions])),
+                mean_feasible_fraction=float(
+                    np.mean([entry.result.feasible_fraction() for entry in group])
+                ),
+                best_feasible_power_mw=max(best_values) if best_values else None,
+            )
+        return summaries

@@ -1,0 +1,169 @@
+"""Design-point evaluation: run the approximate version, measure the objectives.
+
+The evaluator owns one fixed workload for its benchmark (generated from a
+seed so explorations are reproducible), runs the precise version once to
+obtain the exact outputs and the precise power / time baseline, and then
+evaluates any design point by executing the corresponding approximate
+version and deriving (Δacc, Δpower, Δtime).
+
+Evaluations are cached per design point: the exploration may take thousands
+of steps, but the number of distinct configurations is bounded by the design
+space size, so caching keeps even the 50x50 matrix-multiplication
+exploration fast without changing any observable result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.benchmarks.base import Benchmark
+from repro.dse.design_space import DesignPoint, DesignSpace
+from repro.instrumentation.context import ApproxContext
+from repro.metrics.deltas import ObjectiveDeltas, compute_deltas
+from repro.operators.catalog import OperatorCatalog, default_catalog
+from repro.operators.energy import CostModel, RunCost
+
+__all__ = ["EvaluationRecord", "Evaluator"]
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """Everything measured for one design point."""
+
+    point: DesignPoint
+    deltas: ObjectiveDeltas
+    approx_cost: RunCost
+    outputs: np.ndarray
+
+    @property
+    def accuracy(self) -> float:
+        return self.deltas.accuracy
+
+    @property
+    def power_reduction_mw(self) -> float:
+        return self.deltas.power_mw
+
+    @property
+    def time_reduction_ns(self) -> float:
+        return self.deltas.time_ns
+
+
+class Evaluator:
+    """Runs precise and approximate versions of one benchmark workload."""
+
+    def __init__(self, benchmark: Benchmark, catalog: Optional[OperatorCatalog] = None,
+                 seed: int = 0, signed_accuracy: bool = False,
+                 restrict_to_benchmark_widths: bool = True) -> None:
+        self._benchmark = benchmark
+        self._full_catalog = catalog if catalog is not None else default_catalog()
+        if restrict_to_benchmark_widths:
+            # The paper explores each benchmark over the operators matching
+            # its datapath widths (e.g. 8-bit units for MatMul, 16-bit adders
+            # and 32-bit multipliers for FIR).
+            self._catalog = self._full_catalog.restrict_widths(
+                adder_width=benchmark.add_width, multiplier_width=benchmark.mul_width
+            )
+        else:
+            self._catalog = self._full_catalog
+        self._signed_accuracy = bool(signed_accuracy)
+        self._space = DesignSpace(benchmark, self._catalog)
+        self._cost_model: CostModel = self._catalog.cost_model()
+
+        rng = np.random.default_rng(seed)
+        self._inputs: Mapping[str, np.ndarray] = benchmark.generate_inputs(rng)
+
+        self._exact_adder = self._catalog.instance(
+            self._catalog.exact_adder(benchmark.add_width).name
+        )
+        self._exact_multiplier = self._catalog.instance(
+            self._catalog.exact_multiplier(benchmark.mul_width).name
+        )
+
+        precise_context = ApproxContext(self._exact_adder, self._exact_multiplier)
+        self._precise_outputs = benchmark.execute(precise_context, self._inputs).outputs
+        self._precise_cost = self._cost_model.run_cost(precise_context.profile.as_dict())
+
+        self._cache: Dict[Tuple, EvaluationRecord] = {}
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def benchmark(self) -> Benchmark:
+        return self._benchmark
+
+    @property
+    def catalog(self) -> OperatorCatalog:
+        """The (possibly width-restricted) catalog the design space indexes into."""
+        return self._catalog
+
+    @property
+    def full_catalog(self) -> OperatorCatalog:
+        """The unrestricted catalog the evaluator was constructed with."""
+        return self._full_catalog
+
+    @property
+    def design_space(self) -> DesignSpace:
+        return self._space
+
+    @property
+    def inputs(self) -> Mapping[str, np.ndarray]:
+        """The fixed workload every design point is evaluated on."""
+        return self._inputs
+
+    @property
+    def precise_outputs(self) -> np.ndarray:
+        """Outputs of the precise version on the fixed workload."""
+        return self._precise_outputs
+
+    @property
+    def precise_cost(self) -> RunCost:
+        """Power / time of the precise version on the fixed workload."""
+        return self._precise_cost
+
+    @property
+    def cache_size(self) -> int:
+        """Number of distinct design points evaluated so far."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------ evaluation
+
+    def context_for(self, point: DesignPoint) -> ApproxContext:
+        """Build the approximation context corresponding to a design point."""
+        self._space.validate(point)
+        adder_entry = self._catalog.adder(point.adder_index)
+        multiplier_entry = self._catalog.multiplier(point.multiplier_index)
+        selected = [
+            name for name, flag in zip(self._benchmark.variables, point.variables) if flag
+        ]
+        return ApproxContext(
+            exact_adder=self._exact_adder,
+            exact_multiplier=self._exact_multiplier,
+            approx_adder=self._catalog.instance(adder_entry.name),
+            approx_multiplier=self._catalog.instance(multiplier_entry.name),
+            approximate_variables=selected,
+        )
+
+    def evaluate(self, point: DesignPoint) -> EvaluationRecord:
+        """Measure (Δacc, Δpower, Δtime) for one design point (cached)."""
+        key = point.key()
+        if key in self._cache:
+            return self._cache[key]
+
+        context = self.context_for(point)
+        run = self._benchmark.execute(context, self._inputs)
+        approx_cost = self._cost_model.run_cost(context.profile.as_dict())
+        deltas = compute_deltas(
+            self._precise_outputs, run.outputs, self._precise_cost, approx_cost,
+            signed_accuracy=self._signed_accuracy,
+        )
+        record = EvaluationRecord(point=point, deltas=deltas, approx_cost=approx_cost,
+                                  outputs=run.outputs)
+        self._cache[key] = record
+        return record
+
+    def clear_cache(self) -> None:
+        """Drop every cached evaluation (e.g. after changing the workload)."""
+        self._cache.clear()

@@ -1,0 +1,55 @@
+"""Pareto-front extraction over the three exploration objectives.
+
+The exploration is multi-objective: it trades accuracy degradation
+(minimise) against power and computation-time reduction (maximise).  These
+helpers extract the non-dominated subset of an exploration trace, which is
+what a designer would inspect to pick an operating point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.dse.results import StepRecord
+
+__all__ = ["dominates", "pareto_front", "pareto_points"]
+
+
+def dominates(first: StepRecord, second: StepRecord) -> bool:
+    """True when ``first`` is at least as good as ``second`` on every objective
+    and strictly better on at least one.
+
+    "Better" means lower accuracy degradation, higher power reduction and
+    higher time reduction.
+    """
+    first_objectives = (-first.deltas.accuracy, first.deltas.power_mw, first.deltas.time_ns)
+    second_objectives = (-second.deltas.accuracy, second.deltas.power_mw, second.deltas.time_ns)
+    at_least_as_good = all(f >= s for f, s in zip(first_objectives, second_objectives))
+    strictly_better = any(f > s for f, s in zip(first_objectives, second_objectives))
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(records: Iterable[StepRecord]) -> List[StepRecord]:
+    """Non-dominated records, de-duplicated by design point."""
+    unique: dict = {}
+    for record in records:
+        key = record.point.key()
+        if key not in unique:
+            unique[key] = record
+    candidates: Sequence[StepRecord] = list(unique.values())
+
+    front: List[StepRecord] = []
+    for candidate in candidates:
+        if not any(dominates(other, candidate) for other in candidates if other is not candidate):
+            front.append(candidate)
+    return front
+
+
+def pareto_points(records: Iterable[StepRecord]) -> List[tuple]:
+    """The Pareto front as ``(accuracy, power, time)`` tuples, sorted by accuracy."""
+    front = pareto_front(records)
+    points = [
+        (record.deltas.accuracy, record.deltas.power_mw, record.deltas.time_ns)
+        for record in front
+    ]
+    return sorted(points)

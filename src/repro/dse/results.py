@@ -1,0 +1,164 @@
+"""Exploration traces and summaries (the raw material of Table III / Figs 2-4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dse.design_space import DesignPoint
+from repro.dse.thresholds import ExplorationThresholds
+from repro.errors import AnalysisError
+from repro.metrics.deltas import ObjectiveDeltas
+from repro.operators.catalog import OperatorCatalog
+from repro.operators.energy import RunCost
+
+__all__ = ["StepRecord", "ObjectiveSummary", "ExplorationResult"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Everything observed at one exploration step."""
+
+    step: int
+    action: Optional[int]
+    point: DesignPoint
+    deltas: ObjectiveDeltas
+    reward: float
+    cumulative_reward: float
+    constraint_violated: bool = False
+
+
+@dataclass(frozen=True)
+class ObjectiveSummary:
+    """Minimum / solution / maximum of one objective over the exploration.
+
+    This is exactly one block of Table III: the minimum and maximum value of
+    the objective observed during the exploration, and the value of the
+    solution (the approximate version of the last step).
+    """
+
+    minimum: float
+    solution: float
+    maximum: float
+
+
+@dataclass
+class ExplorationResult:
+    """The full trace of one exploration run plus its Table-III summary."""
+
+    benchmark_name: str
+    records: List[StepRecord]
+    thresholds: ExplorationThresholds
+    precise_cost: RunCost
+    agent_name: str = "q-learning"
+    terminated: bool = False
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ raw series
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise AnalysisError("an exploration result requires at least one step record")
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.records)
+
+    @property
+    def solution(self) -> StepRecord:
+        """The approximate version of the last step (the paper's 'solution')."""
+        return self.records[-1]
+
+    def accuracy_series(self) -> np.ndarray:
+        """Δacc at every step."""
+        return np.array([record.deltas.accuracy for record in self.records], dtype=np.float64)
+
+    def power_series(self) -> np.ndarray:
+        """Δpower at every step."""
+        return np.array([record.deltas.power_mw for record in self.records], dtype=np.float64)
+
+    def time_series(self) -> np.ndarray:
+        """Δtime at every step."""
+        return np.array([record.deltas.time_ns for record in self.records], dtype=np.float64)
+
+    def reward_series(self) -> np.ndarray:
+        """Reward at every step."""
+        return np.array([record.reward for record in self.records], dtype=np.float64)
+
+    def cumulative_reward_series(self) -> np.ndarray:
+        """Cumulative reward after every step."""
+        return np.array([record.cumulative_reward for record in self.records], dtype=np.float64)
+
+    # ------------------------------------------------------------- summaries
+
+    def power_summary(self) -> ObjectiveSummary:
+        series = self.power_series()
+        return ObjectiveSummary(float(series.min()), float(series[-1]), float(series.max()))
+
+    def time_summary(self) -> ObjectiveSummary:
+        series = self.time_series()
+        return ObjectiveSummary(float(series.min()), float(series[-1]), float(series.max()))
+
+    def accuracy_summary(self) -> ObjectiveSummary:
+        series = self.accuracy_series()
+        return ObjectiveSummary(float(series.min()), float(series[-1]), float(series.max()))
+
+    def best_feasible(self) -> Optional[StepRecord]:
+        """The feasible step with the largest combined power + time reduction.
+
+        Feasible means the accuracy degradation respects the threshold.  This
+        is the record a user would actually deploy; the paper reports the
+        last step instead, and both usually coincide when the agent learns.
+        """
+        feasible = [
+            record for record in self.records
+            if record.deltas.accuracy <= self.thresholds.accuracy
+        ]
+        if not feasible:
+            return None
+        return max(feasible, key=lambda record: record.deltas.power_mw + record.deltas.time_ns)
+
+    def feasible_fraction(self) -> float:
+        """Fraction of steps whose accuracy degradation respected the threshold."""
+        within = sum(
+            1 for record in self.records
+            if record.deltas.accuracy <= self.thresholds.accuracy
+        )
+        return within / len(self.records)
+
+    def selected_operators(self, catalog: OperatorCatalog) -> Dict[str, str]:
+        """Names of the adder and multiplier of the solution configuration."""
+        point = self.solution.point
+        return {
+            "adder": catalog.adder(point.adder_index).name,
+            "multiplier": catalog.multiplier(point.multiplier_index).name,
+        }
+
+    def table3_row(self, catalog: OperatorCatalog) -> Dict[str, object]:
+        """One column of Table III for this benchmark configuration."""
+        operators = self.selected_operators(catalog)
+        return {
+            "benchmark": self.benchmark_name,
+            "steps": self.num_steps,
+            "power_mw": self.power_summary(),
+            "time_ns": self.time_summary(),
+            "accuracy": self.accuracy_summary(),
+            "adder": operators["adder"],
+            "multiplier": operators["multiplier"],
+        }
+
+    # ------------------------------------------------------------ reward avg
+
+    def average_reward(self, window: int = 100) -> np.ndarray:
+        """Average reward over consecutive windows of ``window`` steps (Figure 4)."""
+        if window <= 0:
+            raise AnalysisError(f"window must be positive, got {window}")
+        rewards = self.reward_series()
+        num_windows = int(np.ceil(rewards.size / window))
+        averages = np.empty(num_windows, dtype=np.float64)
+        for index in range(num_windows):
+            chunk = rewards[index * window:(index + 1) * window]
+            averages[index] = float(np.mean(chunk))
+        return averages

@@ -1,0 +1,89 @@
+"""Exploration thresholds (Section III of the paper).
+
+The paper derives its thresholds from the precise execution:
+
+* the power threshold ``pth`` and the computation-time threshold ``tth`` are
+  50 % of the precise version's power and time — the approximate version
+  must save at least that much to earn a positive reward;
+* the accuracy threshold ``accth`` is 0.4 times the average precise output —
+  the tolerable accuracy loss for the benchmark.
+
+Both fractions are exploration parameters and can be adapted per benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.metrics.deltas import ObjectiveDeltas
+
+__all__ = ["ExplorationThresholds", "derive_thresholds"]
+
+
+@dataclass(frozen=True)
+class ExplorationThresholds:
+    """The three constraint levels Algorithm 1 compares the observations to."""
+
+    accuracy: float
+    power_mw: float
+    time_ns: float
+
+    def __post_init__(self) -> None:
+        if self.accuracy < 0 or self.power_mw < 0 or self.time_ns < 0:
+            raise ConfigurationError(
+                f"thresholds must be non-negative, got {self}"
+            )
+
+    def accuracy_ok(self, deltas: ObjectiveDeltas) -> bool:
+        """True when the accuracy degradation is within the tolerable loss."""
+        return deltas.accuracy <= self.accuracy
+
+    def gains_ok(self, deltas: ObjectiveDeltas) -> bool:
+        """True when both the power and the time reduction reach their thresholds."""
+        return deltas.power_mw >= self.power_mw and deltas.time_ns >= self.time_ns
+
+    def satisfied_by(self, deltas: ObjectiveDeltas) -> bool:
+        """True when the design point meets all three constraints."""
+        return self.accuracy_ok(deltas) and self.gains_ok(deltas)
+
+    def __str__(self) -> str:
+        return (
+            f"accth={self.accuracy:.3f}, pth={self.power_mw:.3f} mW, "
+            f"tth={self.time_ns:.3f} ns"
+        )
+
+
+def derive_thresholds(precise_outputs: np.ndarray, precise_power_mw: float,
+                      precise_time_ns: float, accuracy_factor: float = 0.4,
+                      power_fraction: float = 0.5,
+                      time_fraction: float = 0.5) -> ExplorationThresholds:
+    """Derive the thresholds from a precise execution, as the paper does.
+
+    Parameters
+    ----------
+    precise_outputs:
+        Outputs of the precise run; their average magnitude scales ``accth``.
+    precise_power_mw, precise_time_ns:
+        Power and computation time of the precise run.
+    accuracy_factor:
+        ``accth = accuracy_factor * mean(|outputs|)`` (0.4 in the paper).
+    power_fraction, time_fraction:
+        ``pth`` / ``tth`` as fractions of the precise power / time (0.5 in
+        the paper).
+    """
+    outputs = np.asarray(precise_outputs, dtype=np.float64)
+    if outputs.size == 0:
+        raise ConfigurationError("cannot derive thresholds from an empty output vector")
+    if accuracy_factor < 0 or power_fraction < 0 or time_fraction < 0:
+        raise ConfigurationError("threshold fractions must be non-negative")
+    if precise_power_mw < 0 or precise_time_ns < 0:
+        raise ConfigurationError("precise power/time must be non-negative")
+
+    return ExplorationThresholds(
+        accuracy=accuracy_factor * float(np.mean(np.abs(outputs))),
+        power_mw=power_fraction * float(precise_power_mw),
+        time_ns=time_fraction * float(precise_time_ns),
+    )

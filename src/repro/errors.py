@@ -1,0 +1,82 @@
+"""Exception hierarchy shared across the ``repro`` library.
+
+Every exception raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with inconsistent or out-of-range values."""
+
+
+class DesignSpaceError(ReproError):
+    """A design point or design space definition is invalid."""
+
+
+class OperatorError(ReproError):
+    """An approximate operator was used outside its supported domain."""
+
+
+class UnknownOperatorError(OperatorError, KeyError):
+    """A named operator does not exist in the catalog."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:  # KeyError quotes its argument; keep it readable.
+        return f"unknown operator {self.name!r}"
+
+
+class BenchmarkError(ReproError):
+    """A benchmark definition or execution failed."""
+
+
+class UnknownBenchmarkError(BenchmarkError, KeyError):
+    """A named benchmark does not exist in the registry."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"unknown benchmark {self.name!r}"
+
+
+class InstrumentationError(ReproError):
+    """The approximation context was used incorrectly."""
+
+
+class EnvironmentError_(ReproError):
+    """The RL environment was driven outside its contract.
+
+    The trailing underscore avoids shadowing the built-in ``EnvironmentError``
+    alias of :class:`OSError`.
+    """
+
+
+class ResetNeeded(EnvironmentError_):
+    """``step`` was called before ``reset`` (or after episode termination)."""
+
+
+class InvalidAction(EnvironmentError_):
+    """The agent supplied an action outside the environment's action space."""
+
+
+class ExplorationError(ReproError):
+    """The DSE driver was asked to do something impossible."""
+
+
+class AgentError(ReproError):
+    """An RL agent or baseline explorer was misused."""
+
+
+class AnalysisError(ReproError):
+    """Post-processing of exploration results failed."""

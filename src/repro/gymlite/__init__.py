@@ -1,0 +1,45 @@
+"""A minimal, API-compatible subset of the Gymnasium RL toolkit.
+
+The paper implements its exploration environment on top of Gymnasium.  This
+package provides the part of that API the reproduction needs — the
+:class:`~repro.gymlite.core.Env` base class, observation/action spaces,
+seeding helpers, an environment registry and a handful of wrappers — so the
+library has no dependency beyond NumPy.
+
+The public names mirror Gymnasium so code written against this package reads
+exactly like code written against the real library::
+
+    import repro.gymlite as gym
+
+    class MyEnv(gym.Env):
+        ...
+
+    env = gym.make("repro/AxcDse-v0", benchmark=..., catalog=...)
+    observation, info = env.reset(seed=0)
+    observation, reward, terminated, truncated, info = env.step(action)
+"""
+
+from repro.gymlite import spaces
+from repro.gymlite.core import Env, Wrapper
+from repro.gymlite.registration import EnvSpec, make, pprint_registry, register, registry
+from repro.gymlite.seeding import np_random
+from repro.gymlite.wrappers import (
+    OrderEnforcing,
+    RecordEpisodeStatistics,
+    TimeLimit,
+)
+
+__all__ = [
+    "Env",
+    "Wrapper",
+    "spaces",
+    "np_random",
+    "register",
+    "make",
+    "registry",
+    "pprint_registry",
+    "EnvSpec",
+    "TimeLimit",
+    "OrderEnforcing",
+    "RecordEpisodeStatistics",
+]

@@ -1,0 +1,99 @@
+"""Environment registry mirroring ``gymnasium.envs.registration``."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.gymlite.core import Env, Wrapper
+
+__all__ = ["EnvSpec", "register", "make", "registry", "pprint_registry"]
+
+
+@dataclass
+class EnvSpec:
+    """Description of a registered environment.
+
+    Attributes
+    ----------
+    id:
+        Registry identifier, conventionally ``"namespace/Name-vN"``.
+    entry_point:
+        Either a callable returning an :class:`~repro.gymlite.core.Env` or a
+        string of the form ``"module.path:ClassName"``.
+    max_episode_steps:
+        If set, :func:`make` wraps the environment in a
+        :class:`~repro.gymlite.wrappers.TimeLimit`.
+    kwargs:
+        Default keyword arguments passed to the entry point.
+    """
+
+    id: str
+    entry_point: Union[str, Callable[..., Env]]
+    max_episode_steps: Optional[int] = None
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def load_entry_point(self) -> Callable[..., Env]:
+        """Resolve the entry point to a callable."""
+        if callable(self.entry_point):
+            return self.entry_point
+        module_name, _, attr = self.entry_point.partition(":")
+        if not module_name or not attr:
+            raise ConfigurationError(
+                f"entry point {self.entry_point!r} must look like 'module.path:ClassName'"
+            )
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+
+
+registry: Dict[str, EnvSpec] = {}
+
+
+def register(id: str, entry_point: Union[str, Callable[..., Env]],
+             max_episode_steps: Optional[int] = None, **kwargs: Any) -> EnvSpec:
+    """Register an environment so it can later be created with :func:`make`."""
+    if not id:
+        raise ConfigurationError("environment id must be a non-empty string")
+    if id in registry:
+        raise ConfigurationError(f"environment id {id!r} is already registered")
+    spec = EnvSpec(id=id, entry_point=entry_point,
+                   max_episode_steps=max_episode_steps, kwargs=dict(kwargs))
+    registry[id] = spec
+    return spec
+
+
+def make(id: str, **kwargs: Any) -> Env:
+    """Instantiate a registered environment.
+
+    Keyword arguments override the defaults stored in the
+    :class:`EnvSpec`.  ``max_episode_steps`` may also be overridden per call.
+    """
+    if id not in registry:
+        known = ", ".join(sorted(registry)) or "<none>"
+        raise ConfigurationError(f"environment id {id!r} is not registered (known: {known})")
+    spec = registry[id]
+
+    max_episode_steps = kwargs.pop("max_episode_steps", spec.max_episode_steps)
+    merged_kwargs = dict(spec.kwargs)
+    merged_kwargs.update(kwargs)
+
+    env = spec.load_entry_point()(**merged_kwargs)
+    env.spec = spec
+
+    if max_episode_steps is not None:
+        from repro.gymlite.wrappers import TimeLimit
+
+        env = TimeLimit(env, max_episode_steps=max_episode_steps)
+    return env
+
+
+def pprint_registry() -> str:
+    """Return a human-readable listing of every registered environment."""
+    lines = ["Registered environments:"]
+    for env_id in sorted(registry):
+        spec = registry[env_id]
+        limit = f" (max_episode_steps={spec.max_episode_steps})" if spec.max_episode_steps else ""
+        lines.append(f"  {env_id}{limit}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Random-number seeding helpers mirroring ``gymnasium.utils.seeding``."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def np_random(seed: Optional[int] = None) -> Tuple[np.random.Generator, int]:
+    """Return a seeded NumPy :class:`~numpy.random.Generator` and the seed used.
+
+    Parameters
+    ----------
+    seed:
+        Non-negative integer seed.  ``None`` asks the operating system for
+        entropy, in which case the seed actually used is returned so the run
+        can be reproduced later.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``seed`` is not ``None`` and is not a non-negative integer.
+    """
+    if seed is not None:
+        if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+            raise ConfigurationError(f"seed must be a non-negative integer or None, got {seed!r}")
+        if seed < 0:
+            raise ConfigurationError(f"seed must be non-negative, got {seed}")
+
+    seed_seq = np.random.SeedSequence(seed)
+    used_seed = seed_seq.entropy
+    generator = np.random.Generator(np.random.PCG64(seed_seq))
+    return generator, int(used_seed)

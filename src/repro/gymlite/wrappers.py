@@ -1,0 +1,104 @@
+"""Environment wrappers mirroring the Gymnasium wrappers the library uses."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError, ResetNeeded
+from repro.gymlite.core import Env, Wrapper
+
+__all__ = ["TimeLimit", "OrderEnforcing", "RecordEpisodeStatistics"]
+
+
+class TimeLimit(Wrapper):
+    """Truncate an episode after a fixed number of steps."""
+
+    def __init__(self, env: Env, max_episode_steps: int) -> None:
+        if max_episode_steps <= 0:
+            raise ConfigurationError(
+                f"max_episode_steps must be positive, got {max_episode_steps}"
+            )
+        super().__init__(env)
+        self._max_episode_steps = int(max_episode_steps)
+        self._elapsed_steps: Optional[int] = None
+
+    @property
+    def max_episode_steps(self) -> int:
+        return self._max_episode_steps
+
+    @property
+    def elapsed_steps(self) -> Optional[int]:
+        return self._elapsed_steps
+
+    def reset(self, *, seed: Optional[int] = None,
+              options: Optional[Dict[str, Any]] = None) -> Tuple[Any, Dict[str, Any]]:
+        self._elapsed_steps = 0
+        return super().reset(seed=seed, options=options)
+
+    def step(self, action: Any) -> Tuple[Any, float, bool, bool, Dict[str, Any]]:
+        if self._elapsed_steps is None:
+            raise ResetNeeded("cannot call step() before reset() on a TimeLimit-wrapped env")
+        observation, reward, terminated, truncated, info = super().step(action)
+        self._elapsed_steps += 1
+        if self._elapsed_steps >= self._max_episode_steps:
+            truncated = True
+        return observation, reward, terminated, truncated, info
+
+
+class OrderEnforcing(Wrapper):
+    """Raise a clear error if ``step`` is called before ``reset``."""
+
+    def __init__(self, env: Env) -> None:
+        super().__init__(env)
+        self._has_reset = False
+
+    @property
+    def has_reset(self) -> bool:
+        return self._has_reset
+
+    def reset(self, *, seed: Optional[int] = None,
+              options: Optional[Dict[str, Any]] = None) -> Tuple[Any, Dict[str, Any]]:
+        self._has_reset = True
+        return super().reset(seed=seed, options=options)
+
+    def step(self, action: Any) -> Tuple[Any, float, bool, bool, Dict[str, Any]]:
+        if not self._has_reset:
+            raise ResetNeeded("cannot call step() before the first reset()")
+        return super().step(action)
+
+
+class RecordEpisodeStatistics(Wrapper):
+    """Accumulate per-episode return and length and expose them in ``info``.
+
+    When an episode ends (terminated or truncated), the ``info`` dictionary
+    gains an ``"episode"`` entry with keys ``"r"`` (return), ``"l"`` (length).
+    Recent episode statistics are also kept in :attr:`return_queue` and
+    :attr:`length_queue`.
+    """
+
+    def __init__(self, env: Env, buffer_length: int = 100) -> None:
+        if buffer_length <= 0:
+            raise ConfigurationError(f"buffer_length must be positive, got {buffer_length}")
+        super().__init__(env)
+        self._episode_return = 0.0
+        self._episode_length = 0
+        self.return_queue: deque = deque(maxlen=buffer_length)
+        self.length_queue: deque = deque(maxlen=buffer_length)
+
+    def reset(self, *, seed: Optional[int] = None,
+              options: Optional[Dict[str, Any]] = None) -> Tuple[Any, Dict[str, Any]]:
+        self._episode_return = 0.0
+        self._episode_length = 0
+        return super().reset(seed=seed, options=options)
+
+    def step(self, action: Any) -> Tuple[Any, float, bool, bool, Dict[str, Any]]:
+        observation, reward, terminated, truncated, info = super().step(action)
+        self._episode_return += float(reward)
+        self._episode_length += 1
+        if terminated or truncated:
+            info = dict(info)
+            info["episode"] = {"r": self._episode_return, "l": self._episode_length}
+            self.return_queue.append(self._episode_return)
+            self.length_queue.append(self._episode_length)
+        return observation, reward, terminated, truncated, info

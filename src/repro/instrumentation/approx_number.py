@@ -1,0 +1,126 @@
+"""Tagged-number sugar over :class:`~repro.instrumentation.context.ApproxContext`.
+
+The context API (``ctx.add(a, b, variables=...)``) mirrors instrumented C
+code.  For user-facing example code it is often nicer to write arithmetic
+naturally; :class:`ApproxValue` wraps a value together with the name of the
+program variable it came from and dispatches ``+``, ``-`` and ``*`` to the
+context, passing the variable names along automatically::
+
+    x = ApproxValue(ctx, "x", 40)
+    h = ApproxValue(ctx, "h", 3)
+    y = x * h          # executed on ctx, touching variables {"x", "h"}
+    acc = y + x        # results keep no tag unless re-tagged explicitly
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import InstrumentationError
+from repro.instrumentation.context import ApproxContext
+
+Number = Union[int, np.integer, np.ndarray]
+
+__all__ = ["ApproxValue"]
+
+
+class ApproxValue:
+    """A value bound to an :class:`ApproxContext` and a program-variable name."""
+
+    __slots__ = ("_context", "_variable", "_value")
+
+    def __init__(self, context: ApproxContext, variable: Optional[str], value: Number) -> None:
+        if not isinstance(context, ApproxContext):
+            raise InstrumentationError("ApproxValue requires an ApproxContext")
+        self._context = context
+        self._variable = variable
+        self._value = np.asarray(value)
+        if not np.issubdtype(self._value.dtype, np.integer):
+            raise InstrumentationError(
+                f"ApproxValue holds integer data, got dtype {self._value.dtype}"
+            )
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def context(self) -> ApproxContext:
+        return self._context
+
+    @property
+    def variable(self) -> Optional[str]:
+        """Name of the program variable this value is tagged with (or ``None``)."""
+        return self._variable
+
+    @property
+    def value(self) -> np.ndarray:
+        """The underlying integer value."""
+        return self._value
+
+    def retag(self, variable: str) -> "ApproxValue":
+        """Return the same value tagged as a different program variable."""
+        return ApproxValue(self._context, variable, self._value)
+
+    # ------------------------------------------------------------ arithmetic
+
+    def _coerce(self, other: Union["ApproxValue", Number]) -> "ApproxValue":
+        if isinstance(other, ApproxValue):
+            if other._context is not self._context:
+                raise InstrumentationError("cannot mix values from different contexts")
+            return other
+        return ApproxValue(self._context, None, other)
+
+    def _variables(self, other: "ApproxValue") -> tuple:
+        names = [name for name in (self._variable, other._variable) if name is not None]
+        return tuple(names)
+
+    def __add__(self, other: Union["ApproxValue", Number]) -> "ApproxValue":
+        rhs = self._coerce(other)
+        result = self._context.add(self._value, rhs._value, variables=self._variables(rhs))
+        return ApproxValue(self._context, None, result)
+
+    def __radd__(self, other: Number) -> "ApproxValue":
+        return self._coerce(other).__add__(self)
+
+    def __sub__(self, other: Union["ApproxValue", Number]) -> "ApproxValue":
+        rhs = self._coerce(other)
+        result = self._context.sub(self._value, rhs._value, variables=self._variables(rhs))
+        return ApproxValue(self._context, None, result)
+
+    def __rsub__(self, other: Number) -> "ApproxValue":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: Union["ApproxValue", Number]) -> "ApproxValue":
+        rhs = self._coerce(other)
+        result = self._context.mul(self._value, rhs._value, variables=self._variables(rhs))
+        return ApproxValue(self._context, None, result)
+
+    def __rmul__(self, other: Number) -> "ApproxValue":
+        return self._coerce(other).__mul__(self)
+
+    def __neg__(self) -> "ApproxValue":
+        return ApproxValue(self._context, self._variable, -self._value)
+
+    # ------------------------------------------------------------ comparisons
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ApproxValue):
+            return bool(np.array_equal(self._value, other._value))
+        return bool(np.array_equal(self._value, np.asarray(other)))
+
+    def __hash__(self) -> int:
+        return hash(self._value.tobytes())
+
+    # ------------------------------------------------------------ conversion
+
+    def __int__(self) -> int:
+        if self._value.size != 1:
+            raise InstrumentationError("only scalar ApproxValues can be converted to int")
+        return int(self._value)
+
+    def __array__(self, dtype: Optional[np.dtype] = None) -> np.ndarray:
+        return self._value if dtype is None else self._value.astype(dtype)
+
+    def __repr__(self) -> str:
+        return f"ApproxValue(variable={self._variable!r}, value={self._value!r})"

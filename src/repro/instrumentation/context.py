@@ -1,0 +1,146 @@
+"""The approximation execution context.
+
+An :class:`ApproxContext` is one concrete "approximated version" of an
+application: a pair of hardware units (one adder, one multiplier), the set
+of program variables whose operations those units execute, and the exact
+reference units used for everything else.  Benchmarks perform all their
+arithmetic through the context so the reproduction can (a) inject the
+behavioural error of the approximate units and (b) count operations per unit
+for the power / computation-time estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import InstrumentationError
+from repro.instrumentation.profile import OperationProfile
+from repro.operators.base import Operator, OperatorKind
+
+ArrayLike = Union[int, np.ndarray]
+
+__all__ = ["ApproxContext"]
+
+
+class ApproxContext:
+    """Routes benchmark arithmetic to exact or approximate hardware units.
+
+    Parameters
+    ----------
+    exact_adder, exact_multiplier:
+        Reference units modelling the precise datapath of the target CPU.
+    approx_adder, approx_multiplier:
+        Units used for operations touching an approximated variable.  When
+        ``None`` (the default) the context models the precise version of the
+        application: every operation runs on the exact units.
+    approximate_variables:
+        Names of the program variables selected for approximation.  An
+        operation is approximated when at least one of the variables it
+        touches is in this set, following the selection rule of the paper.
+    """
+
+    def __init__(self, exact_adder: Operator, exact_multiplier: Operator,
+                 approx_adder: Optional[Operator] = None,
+                 approx_multiplier: Optional[Operator] = None,
+                 approximate_variables: Iterable[str] = ()) -> None:
+        if exact_adder.kind is not OperatorKind.ADDER:
+            raise InstrumentationError(f"{exact_adder.name} is not an adder")
+        if exact_multiplier.kind is not OperatorKind.MULTIPLIER:
+            raise InstrumentationError(f"{exact_multiplier.name} is not a multiplier")
+        if approx_adder is not None and approx_adder.kind is not OperatorKind.ADDER:
+            raise InstrumentationError(f"{approx_adder.name} is not an adder")
+        if approx_multiplier is not None and approx_multiplier.kind is not OperatorKind.MULTIPLIER:
+            raise InstrumentationError(f"{approx_multiplier.name} is not a multiplier")
+
+        self._exact_adder = exact_adder
+        self._exact_multiplier = exact_multiplier
+        self._approx_adder = approx_adder
+        self._approx_multiplier = approx_multiplier
+        self._approximate_variables = frozenset(approximate_variables)
+        self._profile = OperationProfile()
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def approximate_variables(self) -> frozenset:
+        """Names of the variables selected for approximation."""
+        return self._approximate_variables
+
+    @property
+    def profile(self) -> OperationProfile:
+        """Operation counts accumulated so far."""
+        return self._profile
+
+    @property
+    def is_precise(self) -> bool:
+        """True when no operation can be approximated by this context."""
+        return (self._approx_adder is None and self._approx_multiplier is None) or \
+            not self._approximate_variables
+
+    # ------------------------------------------------------------ arithmetic
+
+    def add(self, a: ArrayLike, b: ArrayLike, variables: Sequence[str] = ()) -> np.ndarray:
+        """Add two operands, naming the program variables the operation touches."""
+        operator = self._select(OperatorKind.ADDER, variables)
+        return self._execute(operator, a, b)
+
+    def sub(self, a: ArrayLike, b: ArrayLike, variables: Sequence[str] = ()) -> np.ndarray:
+        """Subtract ``b`` from ``a`` (executed on the adder as ``a + (-b)``)."""
+        operator = self._select(OperatorKind.ADDER, variables)
+        b_arr = np.asarray(b)
+        return self._execute(operator, a, -b_arr)
+
+    def mul(self, a: ArrayLike, b: ArrayLike, variables: Sequence[str] = ()) -> np.ndarray:
+        """Multiply two operands, naming the program variables the operation touches."""
+        operator = self._select(OperatorKind.MULTIPLIER, variables)
+        return self._execute(operator, a, b)
+
+    def accumulate(self, values: np.ndarray, axis: int = -1,
+                   variables: Sequence[str] = ()) -> np.ndarray:
+        """Sum an array along ``axis`` using repeated context additions.
+
+        The reduction is performed as a sequential chain of adds, exactly as
+        a scalar accumulator loop would, so the operation count matches the
+        instrumented source program.
+        """
+        values = np.asarray(values)
+        if values.size == 0:
+            raise InstrumentationError("cannot accumulate an empty array")
+        moved = np.moveaxis(values, axis, 0)
+        total = np.zeros(moved.shape[1:], dtype=np.int64)
+        for slice_ in moved:
+            total = self.add(total, slice_, variables=variables)
+        return total
+
+    # -------------------------------------------------------------- plumbing
+
+    def _select(self, kind: OperatorKind, variables: Sequence[str]) -> Operator:
+        approximate = bool(self._approximate_variables.intersection(variables))
+        if kind is OperatorKind.ADDER:
+            if approximate and self._approx_adder is not None:
+                return self._approx_adder
+            return self._exact_adder
+        if approximate and self._approx_multiplier is not None:
+            return self._approx_multiplier
+        return self._exact_multiplier
+
+    def _execute(self, operator: Operator, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        result = operator.apply(a, b)
+        self._profile.record(operator.name, int(np.asarray(result).size))
+        return result
+
+    def reset_profile(self) -> None:
+        """Forget the operation counts accumulated so far."""
+        self._profile = OperationProfile()
+
+    def __repr__(self) -> str:
+        adder = self._approx_adder.name if self._approx_adder else None
+        multiplier = self._approx_multiplier.name if self._approx_multiplier else None
+        return (
+            f"ApproxContext(exact_adder={self._exact_adder.name!r}, "
+            f"exact_multiplier={self._exact_multiplier.name!r}, "
+            f"approx_adder={adder!r}, approx_multiplier={multiplier!r}, "
+            f"approximate_variables={sorted(self._approximate_variables)!r})"
+        )

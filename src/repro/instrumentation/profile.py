@@ -1,0 +1,68 @@
+"""Per-unit operation counting."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.errors import InstrumentationError
+
+__all__ = ["OperationProfile"]
+
+
+@dataclass
+class OperationProfile:
+    """Counts of arithmetic operations, grouped by the unit that executed them.
+
+    The profile is the raw material for the power / computation-time
+    estimate: the cost model multiplies each count by the per-operation
+    power and delay of the corresponding unit.
+    """
+
+    _counts: Counter = field(default_factory=Counter)
+
+    def record(self, unit_name: str, count: int) -> None:
+        """Record ``count`` operations executed on ``unit_name``."""
+        if count < 0:
+            raise InstrumentationError(f"operation count must be non-negative, got {count}")
+        if count:
+            self._counts[unit_name] += int(count)
+
+    def merge(self, other: "OperationProfile") -> "OperationProfile":
+        """Return a new profile combining this one with ``other``."""
+        merged = OperationProfile()
+        merged._counts = self._counts + other._counts
+        return merged
+
+    def count(self, unit_name: str) -> int:
+        """Operations executed on one unit (0 if the unit never ran)."""
+        return self._counts.get(unit_name, 0)
+
+    @property
+    def total_operations(self) -> int:
+        """Total operations across all units."""
+        return sum(self._counts.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        """Copy of the per-unit counts."""
+        return dict(self._counts)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(self._counts.items())
+
+    def clear(self) -> None:
+        """Forget every recorded operation."""
+        self._counts.clear()
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OperationProfile):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={count}" for name, count in sorted(self._counts.items()))
+        return f"OperationProfile({inner})"

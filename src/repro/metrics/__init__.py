@@ -1,0 +1,22 @@
+"""Accuracy, power and computation-time metrics."""
+
+from repro.metrics.accuracy import (
+    accuracy_degradation,
+    max_absolute_error,
+    mean_absolute_error,
+    mean_error,
+    relative_accuracy_loss,
+    root_mean_squared_error,
+)
+from repro.metrics.deltas import ObjectiveDeltas, compute_deltas
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_error",
+    "accuracy_degradation",
+    "relative_accuracy_loss",
+    "root_mean_squared_error",
+    "max_absolute_error",
+    "ObjectiveDeltas",
+    "compute_deltas",
+]

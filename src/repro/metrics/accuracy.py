@@ -1,0 +1,78 @@
+"""Accuracy-degradation metrics.
+
+The paper measures accuracy degradation with Equation 2, the mean difference
+between the exact and approximate outputs (which it calls MAE).  As printed,
+Equation 2 averages the *signed* differences; the conventional Mean Absolute
+Error averages the magnitudes.  Both are provided: :func:`mean_error` is the
+literal Equation 2 and :func:`mean_absolute_error` is the conventional
+metric, which the library uses as its default ``Δacc`` since it cannot hide
+error through cancellation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_error",
+    "accuracy_degradation",
+    "relative_accuracy_loss",
+    "root_mean_squared_error",
+    "max_absolute_error",
+]
+
+
+def _validate(exact: np.ndarray, approximate: np.ndarray) -> tuple:
+    exact_arr = np.asarray(exact, dtype=np.float64).ravel()
+    approx_arr = np.asarray(approximate, dtype=np.float64).ravel()
+    if exact_arr.size == 0:
+        raise ConfigurationError("accuracy metrics require at least one output")
+    if exact_arr.shape != approx_arr.shape:
+        raise ConfigurationError(
+            f"output shapes differ: {exact_arr.shape} vs {approx_arr.shape}"
+        )
+    return exact_arr, approx_arr
+
+
+def mean_absolute_error(exact: np.ndarray, approximate: np.ndarray) -> float:
+    """Mean absolute difference between exact and approximate outputs."""
+    exact_arr, approx_arr = _validate(exact, approximate)
+    return float(np.mean(np.abs(exact_arr - approx_arr)))
+
+
+def mean_error(exact: np.ndarray, approximate: np.ndarray) -> float:
+    """Signed mean difference — Equation 2 of the paper taken literally."""
+    exact_arr, approx_arr = _validate(exact, approximate)
+    return float(np.mean(exact_arr - approx_arr))
+
+
+def accuracy_degradation(exact: np.ndarray, approximate: np.ndarray,
+                         signed: bool = False) -> float:
+    """The paper's Δacc: MAE by default, the literal Equation 2 when ``signed``."""
+    if signed:
+        return mean_error(exact, approximate)
+    return mean_absolute_error(exact, approximate)
+
+
+def relative_accuracy_loss(exact: np.ndarray, approximate: np.ndarray) -> float:
+    """MAE normalised by the mean magnitude of the exact outputs."""
+    exact_arr, approx_arr = _validate(exact, approximate)
+    scale = float(np.mean(np.abs(exact_arr)))
+    if scale == 0.0:
+        return 0.0 if np.array_equal(exact_arr, approx_arr) else float("inf")
+    return mean_absolute_error(exact_arr, approx_arr) / scale
+
+
+def root_mean_squared_error(exact: np.ndarray, approximate: np.ndarray) -> float:
+    """Root-mean-squared difference between exact and approximate outputs."""
+    exact_arr, approx_arr = _validate(exact, approximate)
+    return float(np.sqrt(np.mean((exact_arr - approx_arr) ** 2)))
+
+
+def max_absolute_error(exact: np.ndarray, approximate: np.ndarray) -> float:
+    """Largest absolute difference over all outputs."""
+    exact_arr, approx_arr = _validate(exact, approximate)
+    return float(np.max(np.abs(exact_arr - approx_arr)))

@@ -1,0 +1,60 @@
+"""The three exploration objectives: Δacc, Δpower, Δtime.
+
+The environment of Equation 1 observes, for every approximate version, the
+accuracy degradation and the power / computation-time *reduction* relative
+to the precise version.  :func:`compute_deltas` derives all three from a
+precise and an approximate benchmark execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.accuracy import accuracy_degradation
+from repro.operators.energy import RunCost
+
+__all__ = ["ObjectiveDeltas", "compute_deltas"]
+
+
+@dataclass(frozen=True)
+class ObjectiveDeltas:
+    """The multi-objective observation of one approximate version.
+
+    Attributes
+    ----------
+    accuracy:
+        Δacc — accuracy degradation of the approximate outputs (MAE against
+        the precise outputs).  Larger is worse.
+    power_mw:
+        Δpower — power of the precise version minus power of the approximate
+        version, in mW.  Larger is better.
+    time_ns:
+        Δtime — computation time of the precise version minus the
+        approximate one, in ns.  Larger is better.
+    """
+
+    accuracy: float
+    power_mw: float
+    time_ns: float
+
+    def as_tuple(self) -> tuple:
+        return (self.accuracy, self.power_mw, self.time_ns)
+
+    def __str__(self) -> str:
+        return (
+            f"Δacc={self.accuracy:.3f}, Δpower={self.power_mw:.3f} mW, "
+            f"Δtime={self.time_ns:.3f} ns"
+        )
+
+
+def compute_deltas(exact_outputs: np.ndarray, approx_outputs: np.ndarray,
+                   precise_cost: RunCost, approx_cost: RunCost,
+                   signed_accuracy: bool = False) -> ObjectiveDeltas:
+    """Derive (Δacc, Δpower, Δtime) from a precise and an approximate run."""
+    return ObjectiveDeltas(
+        accuracy=accuracy_degradation(exact_outputs, approx_outputs, signed=signed_accuracy),
+        power_mw=precise_cost.power_mw - approx_cost.power_mw,
+        time_ns=precise_cost.time_ns - approx_cost.time_ns,
+    )

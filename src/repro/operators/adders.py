@@ -1,0 +1,109 @@
+"""Behavioural models of approximate adder families.
+
+Three families cover the error magnitudes of the EvoApproxLib adders the
+paper selects (Table I):
+
+* :class:`TruncatedAdder` — the lowest ``cut`` operand bits are ignored;
+  models aggressive LSB truncation.
+* :class:`LowerOrAdder` — the classic Lower-part-OR Adder (LOA): the low
+  part is computed with a bitwise OR (no carries), the upper part exactly.
+* :class:`CarryCutAdder` — an Error-Tolerant-Adder-style unit that breaks
+  the carry chain into independent segments, dropping inter-segment carries.
+
+All models operate on non-negative ``int64`` bit patterns of the native
+width; signed handling and dynamic-range scaling live in the shared base
+class :class:`repro.operators.base.ApproximateAdder`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.operators.base import ApproximateAdder
+
+__all__ = ["TruncatedAdder", "LowerOrAdder", "CarryCutAdder"]
+
+
+class TruncatedAdder(ApproximateAdder):
+    """Adder that ignores the lowest ``cut`` bits of both operands.
+
+    The low ``cut`` bits of the operands are treated as zero, so the sum is
+    exact on the upper bits and the result's low bits are zero.  The mean
+    error grows roughly as ``2**cut`` absolute, i.e. ``2**(cut - width)``
+    relative, which is how the catalog maps a target MRED onto ``cut``.
+    """
+
+    def __init__(self, width: int, cut: int, name: Optional[str] = None) -> None:
+        super().__init__(width, name=name)
+        if not 0 <= cut < width:
+            raise ConfigurationError(f"cut must be in [0, width), got cut={cut} width={width}")
+        self.cut = int(cut)
+
+    def _compute_native(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        # Clear only the low `cut` bits; upper bits (including the carry /
+        # sign-extension bit the base class provides) pass through exactly.
+        keep_mask = ~((1 << self.cut) - 1)
+        return (a & keep_mask) + (b & keep_mask)
+
+    def __repr__(self) -> str:
+        return f"TruncatedAdder(width={self.width}, cut={self.cut}, name={self.name!r})"
+
+
+class LowerOrAdder(ApproximateAdder):
+    """Lower-part-OR Adder (LOA).
+
+    The lowest ``cut`` bits of the result are ``a | b`` (a cheap carry-free
+    approximation of addition); the remaining upper bits are added exactly
+    with no carry-in from the approximate lower part.
+    """
+
+    def __init__(self, width: int, cut: int, name: Optional[str] = None) -> None:
+        super().__init__(width, name=name)
+        if not 0 <= cut < width:
+            raise ConfigurationError(f"cut must be in [0, width), got cut={cut} width={width}")
+        self.cut = int(cut)
+
+    def _compute_native(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        low_mask = (1 << self.cut) - 1
+        low = (a | b) & low_mask
+        high = ((a >> self.cut) + (b >> self.cut)) << self.cut
+        return high + low
+
+    def __repr__(self) -> str:
+        return f"LowerOrAdder(width={self.width}, cut={self.cut}, name={self.name!r})"
+
+
+class CarryCutAdder(ApproximateAdder):
+    """Segmented adder that never propagates carries across segments.
+
+    The ``width``-bit addition is split into independent ``segment``-bit
+    additions; the carry out of each segment is discarded.  Small segments
+    give large, bursty errors — this family covers the most aggressive
+    entries of Table I.
+    """
+
+    def __init__(self, width: int, segment: int, name: Optional[str] = None) -> None:
+        super().__init__(width, name=name)
+        if not 1 <= segment <= width:
+            raise ConfigurationError(
+                f"segment must be in [1, width], got segment={segment} width={width}"
+            )
+        self.segment = int(segment)
+
+    def _compute_native(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        result = np.zeros_like(a)
+        segment_mask = (1 << self.segment) - 1
+        # The base class hands us width+1 meaningful bits (carry/sign bit);
+        # cover them all so the top bit is not silently dropped.
+        for offset in range(0, self.width + 1, self.segment):
+            part_a = (a >> offset) & segment_mask
+            part_b = (b >> offset) & segment_mask
+            part_sum = (part_a + part_b) & segment_mask  # carry out dropped
+            result = result | (part_sum << offset)
+        return result
+
+    def __repr__(self) -> str:
+        return f"CarryCutAdder(width={self.width}, segment={self.segment}, name={self.name!r})"

@@ -1,0 +1,89 @@
+"""Calibration search: pick family parameters matching a target MRED.
+
+The EvoApproxLib circuits are fixed netlists; our behavioural families are
+parameterised.  These helpers search a family's parameter so that the
+measured MRED of the behavioural model lands as close as possible to a
+published target — useful when extending the catalog with additional
+operators or re-deriving the default catalog's parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.operators.adders import CarryCutAdder, LowerOrAdder, TruncatedAdder
+from repro.operators.base import Operator
+from repro.operators.characterization import characterize
+from repro.operators.multipliers import DrumMultiplier, OperandTruncationMultiplier
+
+__all__ = ["CalibrationResult", "calibrate", "calibrate_adder", "calibrate_multiplier"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a calibration search."""
+
+    operator: Operator
+    measured_mred_percent: float
+    target_mred_percent: float
+
+    @property
+    def absolute_error(self) -> float:
+        """Distance between the measured and the target MRED, in percent points."""
+        return abs(self.measured_mred_percent - self.target_mred_percent)
+
+
+def calibrate(candidates: Sequence[Operator], target_mred_percent: float,
+              samples: int = 20000, rng: Optional[np.random.Generator] = None) -> CalibrationResult:
+    """Return the candidate whose measured MRED is closest to the target."""
+    if not candidates:
+        raise ConfigurationError("calibration requires at least one candidate operator")
+    if target_mred_percent < 0:
+        raise ConfigurationError(f"target MRED must be non-negative, got {target_mred_percent}")
+
+    best: Optional[CalibrationResult] = None
+    for candidate in candidates:
+        report = characterize(candidate, samples=samples, rng=rng)
+        result = CalibrationResult(
+            operator=candidate,
+            measured_mred_percent=report.mred_percent,
+            target_mred_percent=target_mred_percent,
+        )
+        if best is None or result.absolute_error < best.absolute_error:
+            best = result
+    return best
+
+
+def _adder_candidates(width: int) -> List[Operator]:
+    candidates: List[Operator] = []
+    for cut in range(1, width):
+        candidates.append(LowerOrAdder(width, cut=cut))
+        candidates.append(TruncatedAdder(width, cut=cut))
+    for segment in range(1, width):
+        candidates.append(CarryCutAdder(width, segment=segment))
+    return candidates
+
+
+def _multiplier_candidates(width: int) -> List[Operator]:
+    candidates: List[Operator] = []
+    for cut in range(1, width):
+        candidates.append(OperandTruncationMultiplier(width, cut=cut))
+    for k in range(2, width + 1):
+        candidates.append(DrumMultiplier(width, k=k))
+    return candidates
+
+
+def calibrate_adder(width: int, target_mred_percent: float, samples: int = 20000,
+                    rng: Optional[np.random.Generator] = None) -> CalibrationResult:
+    """Search all adder families for the parameter matching a target MRED."""
+    return calibrate(_adder_candidates(width), target_mred_percent, samples=samples, rng=rng)
+
+
+def calibrate_multiplier(width: int, target_mred_percent: float, samples: int = 20000,
+                         rng: Optional[np.random.Generator] = None) -> CalibrationResult:
+    """Search all multiplier families for the parameter matching a target MRED."""
+    return calibrate(_multiplier_candidates(width), target_mred_percent, samples=samples, rng=rng)

@@ -1,0 +1,97 @@
+"""Per-operation power / latency accounting.
+
+The paper evaluates power and computation time "based on pre-characterized
+approximate operators": the cost of a run is the sum, over every executed
+addition and multiplication, of the per-operation power (mW) and delay (ns)
+of the unit that executed it.  :class:`CostModel` performs exactly that
+accounting from the operation counts collected by the instrumentation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["OperationCost", "RunCost", "CostModel"]
+
+
+@dataclass(frozen=True)
+class OperationCost:
+    """Cost of executing a single operation on one hardware unit."""
+
+    power_mw: float
+    delay_ns: float
+
+    def __post_init__(self) -> None:
+        if self.power_mw < 0 or self.delay_ns < 0:
+            raise ConfigurationError(
+                f"operation cost must be non-negative, got power={self.power_mw} delay={self.delay_ns}"
+            )
+
+    def scaled(self, count: int) -> "RunCost":
+        """Total cost of ``count`` operations on this unit."""
+        if count < 0:
+            raise ConfigurationError(f"operation count must be non-negative, got {count}")
+        return RunCost(power_mw=self.power_mw * count, time_ns=self.delay_ns * count,
+                       operation_count=count)
+
+
+@dataclass(frozen=True)
+class RunCost:
+    """Aggregate power / time cost of a (partial) benchmark run."""
+
+    power_mw: float = 0.0
+    time_ns: float = 0.0
+    operation_count: int = 0
+
+    def __add__(self, other: "RunCost") -> "RunCost":
+        if not isinstance(other, RunCost):
+            return NotImplemented
+        return RunCost(
+            power_mw=self.power_mw + other.power_mw,
+            time_ns=self.time_ns + other.time_ns,
+            operation_count=self.operation_count + other.operation_count,
+        )
+
+    def __sub__(self, other: "RunCost") -> "RunCost":
+        if not isinstance(other, RunCost):
+            return NotImplemented
+        return RunCost(
+            power_mw=self.power_mw - other.power_mw,
+            time_ns=self.time_ns - other.time_ns,
+            operation_count=self.operation_count - other.operation_count,
+        )
+
+
+class CostModel:
+    """Maps unit names to per-operation costs and totals them for a run."""
+
+    def __init__(self, costs: Mapping[str, OperationCost]) -> None:
+        if not costs:
+            raise ConfigurationError("cost model requires at least one unit cost")
+        self._costs: Dict[str, OperationCost] = dict(costs)
+
+    @property
+    def unit_names(self) -> tuple:
+        """Names of every unit the model knows about."""
+        return tuple(sorted(self._costs))
+
+    def cost_of(self, unit_name: str) -> OperationCost:
+        """Per-operation cost of one unit."""
+        try:
+            return self._costs[unit_name]
+        except KeyError:
+            raise ConfigurationError(f"no cost registered for unit {unit_name!r}") from None
+
+    def register(self, unit_name: str, cost: OperationCost) -> None:
+        """Add or replace the cost of a unit."""
+        self._costs[unit_name] = cost
+
+    def run_cost(self, operation_counts: Mapping[str, int]) -> RunCost:
+        """Total cost of a run described by per-unit operation counts."""
+        total = RunCost()
+        for unit_name, count in operation_counts.items():
+            total = total + self.cost_of(unit_name).scaled(count)
+        return total

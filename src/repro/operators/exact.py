@@ -1,0 +1,45 @@
+"""Exact reference adders and multipliers.
+
+These model the precise hardware units the paper compares against (the
+``1HG``/``1A5`` adders and the ``1JJQ``/``precise`` multipliers of Tables I
+and II): functionally they compute the exact result, and they carry the
+catalog's power/delay figures through the cost model like any other
+operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.operators.base import ApproximateAdder, ApproximateMultiplier
+
+__all__ = ["ExactAdder", "ExactMultiplier"]
+
+
+class ExactAdder(ApproximateAdder):
+    """A bit-exact adder of a given native width."""
+
+    @property
+    def is_exact(self) -> bool:
+        return True
+
+    def _apply_signed(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        # Exact units never lose precision, regardless of operand width.
+        return a + b
+
+    def _compute_native(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a + b
+
+
+class ExactMultiplier(ApproximateMultiplier):
+    """A bit-exact multiplier of a given native width."""
+
+    @property
+    def is_exact(self) -> bool:
+        return True
+
+    def _apply_signed(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a * b
+
+    def _compute_native(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a * b

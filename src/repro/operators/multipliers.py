@@ -1,0 +1,182 @@
+"""Behavioural models of approximate multiplier families.
+
+Four families span the error magnitudes of the EvoApproxLib multipliers the
+paper selects (Table II):
+
+* :class:`OperandTruncationMultiplier` — drops the lowest bits of each
+  operand before multiplying (partial-product truncation).
+* :class:`BrokenArrayMultiplier` — omits the lowest diagonals of the partial
+  product array.
+* :class:`LogMultiplier` — Mitchell's logarithmic multiplier (piece-wise
+  linear log/antilog approximation, ≈3.8 % MRED at any width).
+* :class:`DrumMultiplier` — DRUM-style dynamic truncation to ``k``
+  significant bits with an unbiasing LSB.
+
+All models operate on non-negative ``int64`` operands that fit the native
+width; signed handling and dynamic-range scaling live in
+:class:`repro.operators.base.ApproximateMultiplier`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.operators.base import ApproximateMultiplier
+
+__all__ = [
+    "OperandTruncationMultiplier",
+    "BrokenArrayMultiplier",
+    "LogMultiplier",
+    "DrumMultiplier",
+]
+
+
+def _floor_log2(values: np.ndarray) -> np.ndarray:
+    """Element-wise ``floor(log2(v))`` for positive ints, 0 for zero inputs."""
+    values = values.astype(np.int64)
+    with np.errstate(all="ignore"):
+        _, exponents = np.frexp(values.astype(np.float64))
+    leading = exponents.astype(np.int64) - 1
+    # frexp can round a value just below a power of two up to it; correct by
+    # checking the candidate bit actually is the leading one.
+    safe = np.maximum(leading, 0)
+    too_high = (values >> safe) == 0
+    leading = np.where(too_high, leading - 1, leading)
+    return np.where(values > 0, np.maximum(leading, 0), 0)
+
+
+class OperandTruncationMultiplier(ApproximateMultiplier):
+    """Multiplier that zeroes the lowest ``cut`` bits of both operands."""
+
+    def __init__(self, width: int, cut: int, name: Optional[str] = None) -> None:
+        super().__init__(width, name=name)
+        if not 0 <= cut < width:
+            raise ConfigurationError(f"cut must be in [0, width), got cut={cut} width={width}")
+        self.cut = int(cut)
+
+    def _compute_native(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        keep = ((1 << self.width) - 1) ^ ((1 << self.cut) - 1)
+        return (a & keep) * (b & keep)
+
+    def __repr__(self) -> str:
+        return f"OperandTruncationMultiplier(width={self.width}, cut={self.cut}, name={self.name!r})"
+
+
+class BrokenArrayMultiplier(ApproximateMultiplier):
+    """Multiplier that omits the lowest ``omitted`` partial-product diagonals.
+
+    The exact product is the sum of partial products ``(a_i * b_j) << (i+j)``;
+    this model discards every contribution whose weight is below ``omitted``,
+    matching a carry-save array with its lower-left triangle removed.  The
+    result is always an under-estimate and its error is bounded by roughly
+    ``width * 2**omitted``.
+    """
+
+    def __init__(self, width: int, omitted: int, name: Optional[str] = None) -> None:
+        super().__init__(width, name=name)
+        if not 0 <= omitted < 2 * width:
+            raise ConfigurationError(
+                f"omitted must be in [0, 2*width), got omitted={omitted} width={width}"
+            )
+        self.omitted = int(omitted)
+
+    def _compute_native(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self.omitted == 0:
+            return a * b
+        result = np.zeros(a.shape, dtype=np.int64)
+        for bit in range(self.width):
+            row_active = (b >> bit) & 1
+            # Row `bit` contributes a << bit; drop the part with weight < omitted.
+            drop = max(self.omitted - bit, 0)
+            if drop >= self.width:
+                continue
+            kept_a = (a >> drop) << drop
+            result = result + row_active * (kept_a << bit)
+        return result
+
+    def __repr__(self) -> str:
+        return f"BrokenArrayMultiplier(width={self.width}, omitted={self.omitted}, name={self.name!r})"
+
+
+class LogMultiplier(ApproximateMultiplier):
+    """Mitchell's logarithmic multiplier.
+
+    Each operand ``v`` is approximated as ``2**k * (1 + f)`` with ``k`` the
+    leading-one position and ``f`` the fractional mantissa; the product is
+    approximated as ``2**(k1+k2) * (1 + f1 + f2)``.  The error is always an
+    under-estimate, bounded by about 11 % and averaging ≈3.8 % for uniform
+    operands — matching the mid-range entries of Table II.
+    """
+
+    #: Number of fraction bits used for the fixed-point mantissas.
+    _FRACTION_BITS = 24
+
+    def _compute_native(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a_i = a.astype(np.int64)
+        b_i = b.astype(np.int64)
+        nonzero = (a_i > 0) & (b_i > 0)
+
+        k1 = _floor_log2(a_i)
+        k2 = _floor_log2(b_i)
+        frac_bits = self._FRACTION_BITS
+
+        # f = (v - 2**k) / 2**k in fixed point with `frac_bits` fraction bits.
+        f1 = ((a_i - (1 << k1).astype(np.int64)) << frac_bits) >> k1
+        f2 = ((b_i - (1 << k2).astype(np.int64)) << frac_bits) >> k2
+        f_sum = f1 + f2
+        k_sum = k1 + k2
+
+        one = np.int64(1) << frac_bits
+        carry = f_sum >= one
+        # Mitchell: if f1+f2 >= 1 the product is 2**(k1+k2+1) * (f1+f2),
+        # otherwise 2**(k1+k2) * (1 + f1 + f2).
+        mantissa = np.where(carry, f_sum, f_sum + one)
+        exponent = np.where(carry, k_sum + 1, k_sum)
+
+        # Shift in whichever direction keeps the intermediate inside int64.
+        up_shift = np.maximum(exponent - frac_bits, 0)
+        down_shift = np.maximum(frac_bits - exponent, 0)
+        product = (mantissa << up_shift) >> down_shift
+        return np.where(nonzero, product, 0)
+
+    def __repr__(self) -> str:
+        return f"LogMultiplier(width={self.width}, name={self.name!r})"
+
+
+class DrumMultiplier(ApproximateMultiplier):
+    """DRUM-style dynamic range unbiased multiplier.
+
+    Each operand is truncated to its ``k`` most significant bits (starting at
+    its leading one), the truncated LSB is forced to one to unbias the error,
+    and the small exact product is shifted back into place.  The relative
+    error is independent of operand magnitude and shrinks exponentially
+    with ``k``.
+    """
+
+    def __init__(self, width: int, k: int, name: Optional[str] = None) -> None:
+        super().__init__(width, name=name)
+        if not 2 <= k <= width:
+            raise ConfigurationError(f"k must be in [2, width], got k={k} width={width}")
+        self.k = int(k)
+
+    def _truncate(self, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        leading = _floor_log2(values)
+        shift = np.maximum(leading - (self.k - 1), 0)
+        truncated = values >> shift
+        # Force the LSB to 1 (unbiasing) only when bits were actually dropped.
+        truncated = np.where(shift > 0, truncated | 1, truncated)
+        return truncated, shift
+
+    def _compute_native(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a_i = a.astype(np.int64)
+        b_i = b.astype(np.int64)
+        ta, sa = self._truncate(a_i)
+        tb, sb = self._truncate(b_i)
+        product = (ta * tb) << (sa + sb)
+        return np.where((a_i == 0) | (b_i == 0), 0, product)
+
+    def __repr__(self) -> str:
+        return f"DrumMultiplier(width={self.width}, k={self.k}, name={self.name!r})"

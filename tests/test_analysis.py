@@ -1,0 +1,116 @@
+"""Tests for trend fitting, reward curves and report rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import RandomAgent
+from repro.analysis import (
+    RewardCurve,
+    exploration_trace,
+    fit_trend,
+    format_table,
+    improvement_ratio,
+    render_comparison,
+    render_operator_table,
+    render_table3,
+    reward_curve,
+    reward_curves,
+    trace_trends,
+)
+from repro.dse import explore
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def random_result(matmul_env):
+    agent = RandomAgent(num_actions=matmul_env.action_space.n, seed=0)
+    return explore(matmul_env, agent, max_steps=120, seed=0)
+
+
+class TestTrends:
+    def test_fit_trend_recovers_linear_series(self):
+        series = 2.0 * np.arange(50) + 5.0
+        trend = fit_trend(series)
+        assert trend.slope == pytest.approx(2.0)
+        assert trend.intercept == pytest.approx(5.0)
+        assert trend.increasing
+
+    def test_fit_trend_flat_series(self):
+        trend = fit_trend(np.full(20, 3.0))
+        assert trend.slope == pytest.approx(0.0, abs=1e-9)
+        assert not trend.increasing
+
+    def test_fit_trend_requires_two_points(self):
+        with pytest.raises(AnalysisError):
+            fit_trend(np.array([1.0]))
+
+    def test_trend_predict(self):
+        trend = fit_trend(np.arange(10, dtype=float))
+        np.testing.assert_allclose(trend.predict(np.array([0, 9])), [0.0, 9.0], atol=1e-9)
+
+    def test_exploration_trace_keys_and_lengths(self, random_result):
+        trace = exploration_trace(random_result)
+        assert set(trace) == {"step", "power_mw", "time_ns", "accuracy"}
+        assert all(len(series) == random_result.num_steps for series in trace.values())
+
+    def test_trace_trends_produces_three_lines(self, random_result):
+        trends = trace_trends(random_result)
+        assert set(trends) == {"power_mw", "time_ns", "accuracy"}
+
+
+class TestRewardCurves:
+    def test_reward_curve_windows(self, random_result):
+        curve = reward_curve(random_result, window=40)
+        assert curve.window == 40
+        assert curve.num_windows == int(np.ceil(random_result.num_steps / 40))
+        assert curve.window_centers()[0] == pytest.approx(20.0)
+
+    def test_reward_curves_keyed_by_benchmark(self, random_result):
+        curves = reward_curves([random_result], window=50)
+        assert random_result.benchmark_name in curves
+
+    def test_improvement_ratio(self):
+        curve = RewardCurve(benchmark_name="x", window=10,
+                            averages=np.array([-1.0, 0.0, 0.5]))
+        assert improvement_ratio(curve) == pytest.approx(1.5)
+
+    def test_improvement_ratio_single_window(self):
+        curve = RewardCurve(benchmark_name="x", window=10, averages=np.array([0.3]))
+        assert improvement_ratio(curve) == 0.0
+
+    def test_improvement_ratio_empty_raises(self):
+        curve = RewardCurve(benchmark_name="x", window=10, averages=np.array([]))
+        with pytest.raises(AnalysisError):
+            improvement_ratio(curve)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "bbbb" in lines[3]
+
+    def test_render_operator_tables(self, catalog):
+        adders = render_operator_table(catalog, kind="adder", measure=False)
+        multipliers = render_operator_table(catalog, kind="multiplier", measure=False)
+        assert "add8_00M" in adders
+        assert "mul32_043" in multipliers
+        assert "MRED" in adders
+
+    def test_render_operator_table_with_measurement(self, catalog):
+        table = render_operator_table(catalog, kind="adder", measure=True, samples=500)
+        assert "MRED % (measured)" in table
+
+    def test_render_table3(self, random_result, matmul_env):
+        table = render_table3({"matmul": random_result}, matmul_env.evaluator.catalog)
+        assert "Δpower sol" in table
+        assert "matmul" in table
+
+    def test_render_comparison(self, random_result):
+        table = render_comparison([random_result])
+        assert "random" in table
+        assert "feasible %" in table

@@ -1,0 +1,124 @@
+"""Tests for the non-RL baseline explorers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.baselines import (
+    BaselineRecorder,
+    ExhaustiveExplorer,
+    GeneticExplorer,
+    HillClimbingExplorer,
+    SimulatedAnnealingExplorer,
+    default_thresholds,
+    fitness,
+)
+from repro.dse import Evaluator, ExplorationThresholds
+from repro.errors import ConfigurationError
+from repro.metrics import ObjectiveDeltas
+
+
+@pytest.fixture
+def thresholds(matmul_evaluator):
+    return default_thresholds(matmul_evaluator)
+
+
+class TestFitness:
+    def test_feasible_points_score_normalised_gains(self):
+        thresholds = ExplorationThresholds(accuracy=10.0, power_mw=10.0, time_ns=10.0)
+        value = fitness(ObjectiveDeltas(accuracy=5.0, power_mw=20.0, time_ns=10.0), thresholds)
+        assert value == pytest.approx(3.0)
+
+    def test_infeasible_points_score_negative(self):
+        thresholds = ExplorationThresholds(accuracy=10.0, power_mw=10.0, time_ns=10.0)
+        value = fitness(ObjectiveDeltas(accuracy=30.0, power_mw=100.0, time_ns=100.0), thresholds)
+        assert value == pytest.approx(-3.0)
+
+    def test_better_gains_rank_higher(self):
+        thresholds = ExplorationThresholds(accuracy=10.0, power_mw=10.0, time_ns=10.0)
+        weak = fitness(ObjectiveDeltas(accuracy=0.0, power_mw=5.0, time_ns=5.0), thresholds)
+        strong = fitness(ObjectiveDeltas(accuracy=0.0, power_mw=50.0, time_ns=50.0), thresholds)
+        assert strong > weak
+
+    def test_default_thresholds_match_environment_derivation(self, matmul_evaluator, thresholds):
+        assert thresholds.power_mw == pytest.approx(
+            0.5 * matmul_evaluator.precise_cost.power_mw
+        )
+
+
+class TestBaselineRecorder:
+    def test_records_are_appended_per_evaluation(self, matmul_evaluator, thresholds):
+        recorder = BaselineRecorder(matmul_evaluator, thresholds, "test")
+        space = matmul_evaluator.design_space
+        recorder.evaluate(space.initial_point())
+        recorder.evaluate(space.most_aggressive_point())
+        assert recorder.num_evaluations == 2
+        result = recorder.result()
+        assert result.num_steps == 2
+        assert result.agent_name == "test"
+
+    def test_result_appends_best_point_as_solution(self, matmul_evaluator, thresholds):
+        recorder = BaselineRecorder(matmul_evaluator, thresholds, "test")
+        space = matmul_evaluator.design_space
+        recorder.evaluate(space.initial_point())
+        best = space.most_aggressive_point()
+        result = recorder.result(best_point=best)
+        assert result.solution.point == best
+
+
+class TestBaselineExplorers:
+    @pytest.mark.parametrize("explorer_class,kwargs", [
+        (SimulatedAnnealingExplorer, {"max_evaluations": 60, "seed": 0}),
+        (HillClimbingExplorer, {"max_evaluations": 60, "seed": 0}),
+        (GeneticExplorer, {"population_size": 6, "generations": 5, "seed": 0}),
+    ])
+    def test_explorers_produce_traces_and_find_feasible_points(self, matmul_evaluator,
+                                                               explorer_class, kwargs):
+        explorer = explorer_class(matmul_evaluator, **kwargs)
+        result = explorer.run()
+        assert result.num_steps > 1
+        assert result.agent_name == explorer.name
+        best = result.best_feasible()
+        assert best is not None
+        assert best.deltas.accuracy <= result.thresholds.accuracy
+
+    def test_exhaustive_covers_the_whole_space(self, matmul_evaluator):
+        result = ExhaustiveExplorer(matmul_evaluator).run()
+        space_size = matmul_evaluator.design_space.size
+        # Every distinct point once, plus possibly the repeated best solution.
+        assert space_size <= result.num_steps <= space_size + 1
+
+    def test_exhaustive_budget_is_respected(self, matmul_evaluator):
+        result = ExhaustiveExplorer(matmul_evaluator, max_evaluations=10).run()
+        assert result.num_steps <= 11
+
+    def test_exhaustive_solution_dominates_other_baselines(self, matmul_evaluator):
+        thresholds = default_thresholds(matmul_evaluator)
+        exhaustive = ExhaustiveExplorer(matmul_evaluator, thresholds).run()
+        annealing = SimulatedAnnealingExplorer(matmul_evaluator, thresholds,
+                                               max_evaluations=50, seed=0).run()
+        best_exhaustive = fitness(exhaustive.solution.deltas, thresholds)
+        best_annealing = fitness(annealing.solution.deltas, thresholds)
+        assert best_exhaustive >= best_annealing - 1e-9
+
+    def test_deterministic_given_seed(self, matmul_evaluator, thresholds):
+        first = SimulatedAnnealingExplorer(matmul_evaluator, thresholds,
+                                           max_evaluations=40, seed=5).run()
+        second = SimulatedAnnealingExplorer(matmul_evaluator, thresholds,
+                                            max_evaluations=40, seed=5).run()
+        assert [record.point.key() for record in first.records] == \
+               [record.point.key() for record in second.records]
+
+    def test_parameter_validation(self, matmul_evaluator):
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealingExplorer(matmul_evaluator, max_evaluations=0)
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealingExplorer(matmul_evaluator, cooling_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            GeneticExplorer(matmul_evaluator, population_size=1)
+        with pytest.raises(ConfigurationError):
+            GeneticExplorer(matmul_evaluator, mutation_rate=2.0)
+        with pytest.raises(ConfigurationError):
+            HillClimbingExplorer(matmul_evaluator, max_evaluations=-5)
+        with pytest.raises(ConfigurationError):
+            ExhaustiveExplorer(matmul_evaluator, max_evaluations=0)

@@ -1,0 +1,271 @@
+"""Tests for the benchmark kernels, workload generators and registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import (
+    Convolution2DBenchmark,
+    DctBenchmark,
+    DotProductBenchmark,
+    FirBenchmark,
+    KMeansAssignBenchmark,
+    MatMulBenchmark,
+    SobelBenchmark,
+    available,
+    create,
+    paper_benchmarks,
+    register,
+    workloads,
+)
+from repro.errors import BenchmarkError, ConfigurationError, UnknownBenchmarkError
+from repro.instrumentation import ApproxContext
+from repro.operators import ExactAdder, ExactMultiplier
+
+
+def _precise_context() -> ApproxContext:
+    return ApproxContext(ExactAdder(16, name="add"), ExactMultiplier(32, name="mul"))
+
+
+ALL_BENCHMARKS = [
+    MatMulBenchmark(rows=4, inner=5, cols=3),
+    FirBenchmark(num_samples=20, num_taps=4),
+    Convolution2DBenchmark(height=8, width=9),
+    DctBenchmark(block_size=4, num_blocks=2),
+    SobelBenchmark(height=8, width=8),
+    DotProductBenchmark(length=12),
+    KMeansAssignBenchmark(num_points=10, num_centroids=3, dimensions=2),
+]
+
+
+class TestWorkloads:
+    def test_white_noise_range_and_shape(self, rng):
+        signal = workloads.white_noise(rng, 1000, amplitude=50)
+        assert signal.shape == (1000,)
+        assert signal.min() >= -50 and signal.max() <= 50
+
+    def test_white_noise_invalid_args(self, rng):
+        with pytest.raises(BenchmarkError):
+            workloads.white_noise(rng, 0)
+        with pytest.raises(BenchmarkError):
+            workloads.white_noise(rng, 10, amplitude=0)
+
+    def test_random_matrix_bounds(self, rng):
+        matrix = workloads.random_matrix(rng, 5, 7, value_bits=4)
+        assert matrix.shape == (5, 7)
+        assert matrix.min() >= 0 and matrix.max() < 16
+
+    def test_random_image_is_8bit(self, rng):
+        image = workloads.random_image(rng, 16, 24)
+        assert image.shape == (16, 24)
+        assert image.min() >= 0 and image.max() <= 255
+
+    def test_lowpass_coefficients_sum_close_to_unity_gain(self):
+        taps = workloads.lowpass_coefficients(16, scale_bits=7)
+        assert taps.shape == (16,)
+        # Quantised unity gain: the taps sum to roughly 2**scale_bits.
+        assert abs(int(taps.sum()) - 128) <= 8
+
+    def test_lowpass_coefficients_invalid(self):
+        with pytest.raises(BenchmarkError):
+            workloads.lowpass_coefficients(1)
+
+    def test_random_points_shape(self, rng):
+        points = workloads.random_points(rng, 6, 3)
+        assert points.shape == (6, 3)
+
+
+class TestBenchmarkContracts:
+    # Note: the parameter is called "kernel" (not "benchmark") to avoid
+    # clashing with the pytest-benchmark fixture of the same name.
+    @pytest.mark.parametrize("kernel", ALL_BENCHMARKS, ids=lambda b: b.name)
+    def test_generate_inputs_is_reproducible(self, kernel):
+        first = kernel.generate_inputs(np.random.default_rng(7))
+        second = kernel.generate_inputs(np.random.default_rng(7))
+        assert set(first) == set(second)
+        for key in first:
+            np.testing.assert_array_equal(first[key], second[key])
+
+    @pytest.mark.parametrize("kernel", ALL_BENCHMARKS, ids=lambda b: b.name)
+    def test_execute_produces_flat_integer_outputs(self, kernel):
+        inputs = kernel.generate_inputs(np.random.default_rng(0))
+        run = kernel.execute(_precise_context(), inputs)
+        assert run.outputs.ndim == 1
+        assert run.outputs.size > 0
+        assert np.issubdtype(run.outputs.dtype, np.integer)
+
+    @pytest.mark.parametrize("kernel", ALL_BENCHMARKS, ids=lambda b: b.name)
+    def test_declares_variables_and_widths(self, kernel):
+        assert kernel.num_variables >= 2
+        assert kernel.add_width in (8, 16)
+        assert kernel.mul_width in (8, 16, 32)
+        assert kernel.name
+        assert kernel.describe()
+
+    @pytest.mark.parametrize("kernel", ALL_BENCHMARKS, ids=lambda b: b.name)
+    def test_missing_inputs_raise(self, kernel):
+        with pytest.raises(BenchmarkError):
+            kernel.execute(_precise_context(), {})
+
+    @pytest.mark.parametrize("kernel", ALL_BENCHMARKS, ids=lambda b: b.name)
+    def test_operations_are_counted(self, kernel):
+        context = _precise_context()
+        kernel.execute(context, kernel.generate_inputs(np.random.default_rng(0)))
+        assert context.profile.total_operations > 0
+
+
+class TestMatMul:
+    def test_matches_numpy_matmul(self):
+        benchmark = MatMulBenchmark(rows=6, inner=4, cols=5)
+        inputs = benchmark.generate_inputs(np.random.default_rng(3))
+        run = benchmark.execute(_precise_context(), inputs)
+        expected = (inputs["a"] @ inputs["b"]).ravel()
+        np.testing.assert_array_equal(run.outputs, expected)
+
+    def test_operation_counts(self):
+        benchmark = MatMulBenchmark(rows=3, inner=4, cols=5)
+        context = _precise_context()
+        benchmark.execute(context, benchmark.generate_inputs(np.random.default_rng(0)))
+        assert context.profile.count("mul") == 3 * 4 * 5
+        assert context.profile.count("add") == 3 * 4 * 5
+
+    def test_paper_configuration_sizes(self):
+        small = MatMulBenchmark(rows=10, inner=10, cols=10)
+        large = MatMulBenchmark(rows=50, inner=50, cols=50)
+        assert small.name == "matmul_10x10"
+        assert large.name == "matmul_50x50"
+
+    def test_shape_validation(self):
+        benchmark = MatMulBenchmark(rows=3, inner=3, cols=3)
+        with pytest.raises(BenchmarkError):
+            benchmark.run(_precise_context(), {"a": np.zeros((2, 2), dtype=np.int64),
+                                                "b": np.zeros((3, 3), dtype=np.int64)})
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(BenchmarkError):
+            MatMulBenchmark(rows=0)
+        with pytest.raises(BenchmarkError):
+            MatMulBenchmark(value_bits=12)
+
+
+class TestFir:
+    def test_matches_reference_convolution(self):
+        benchmark = FirBenchmark(num_samples=30, num_taps=5)
+        inputs = benchmark.generate_inputs(np.random.default_rng(5))
+        run = benchmark.execute(_precise_context(), inputs)
+        padded = np.concatenate([np.zeros(4, dtype=np.int64), inputs["x"]])
+        expected = np.array([
+            sum(int(inputs["h"][t]) * int(padded[n + 4 - t]) for t in range(5))
+            for n in range(30)
+        ])
+        np.testing.assert_array_equal(run.outputs, expected)
+
+    def test_operation_counts(self):
+        benchmark = FirBenchmark(num_samples=25, num_taps=8)
+        context = _precise_context()
+        benchmark.execute(context, benchmark.generate_inputs(np.random.default_rng(0)))
+        assert context.profile.count("mul") == 25 * 8
+        assert context.profile.count("add") == 25 * 8
+
+    def test_output_length_matches_samples(self):
+        benchmark = FirBenchmark(num_samples=100)
+        run = benchmark.execute(_precise_context(),
+                                benchmark.generate_inputs(np.random.default_rng(0)))
+        assert run.outputs.shape == (100,)
+
+    def test_low_pass_attenuates_alternating_signal(self):
+        benchmark = FirBenchmark(num_samples=64, num_taps=16)
+        taps = workloads.lowpass_coefficients(16)
+        constant = {"x": np.full(64, 100, dtype=np.int64), "h": taps}
+        alternating = {"x": np.array([100 if i % 2 == 0 else -100 for i in range(64)],
+                                     dtype=np.int64), "h": taps}
+        dc_output = benchmark.execute(_precise_context(), constant).outputs
+        ac_output = benchmark.execute(_precise_context(), alternating).outputs
+        # Steady-state: low-pass passes DC and attenuates the Nyquist tone.
+        assert np.abs(dc_output[32:]).mean() > 5 * np.abs(ac_output[32:]).mean()
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(BenchmarkError):
+            FirBenchmark(num_samples=0)
+        with pytest.raises(BenchmarkError):
+            FirBenchmark(num_taps=1)
+
+
+class TestOtherKernels:
+    def test_convolution_matches_reference(self):
+        benchmark = Convolution2DBenchmark(height=6, width=6)
+        inputs = benchmark.generate_inputs(np.random.default_rng(11))
+        run = benchmark.execute(_precise_context(), inputs)
+        image, kernel = inputs["image"], inputs["kernel"]
+        expected = np.zeros((4, 4), dtype=np.int64)
+        for i in range(4):
+            for j in range(4):
+                expected[i, j] = int(np.sum(image[i:i + 3, j:j + 3] * kernel))
+        np.testing.assert_array_equal(run.outputs, expected.ravel())
+
+    def test_dct_of_constant_block_concentrates_energy_in_dc(self):
+        benchmark = DctBenchmark(block_size=4, num_blocks=1)
+        coeff = benchmark.generate_inputs(np.random.default_rng(0))["coeff"]
+        block = np.full((1, 4, 4), 64, dtype=np.int64)
+        run = benchmark.execute(_precise_context(), {"block": block, "coeff": coeff})
+        outputs = run.outputs.reshape(4, 4)
+        dc = abs(int(outputs[0, 0]))
+        others = np.abs(outputs).sum() - dc
+        assert dc > others
+
+    def test_sobel_flat_image_has_zero_gradient(self):
+        benchmark = SobelBenchmark(height=8, width=8)
+        flat = {"image": np.full((8, 8), 77, dtype=np.int64)}
+        run = benchmark.execute(_precise_context(), flat)
+        assert int(np.abs(run.outputs).sum()) == 0
+
+    def test_sobel_vertical_edge_detected(self):
+        benchmark = SobelBenchmark(height=8, width=8)
+        image = np.zeros((8, 8), dtype=np.int64)
+        image[:, 4:] = 200
+        run = benchmark.execute(_precise_context(), {"image": image})
+        assert int(np.abs(run.outputs).max()) > 0
+
+    def test_dotproduct_matches_numpy(self):
+        benchmark = DotProductBenchmark(length=32)
+        inputs = benchmark.generate_inputs(np.random.default_rng(2))
+        run = benchmark.execute(_precise_context(), inputs)
+        assert int(run.outputs[0]) == int(np.dot(inputs["u"], inputs["v"]))
+
+    def test_kmeans_distances_match_numpy(self):
+        benchmark = KMeansAssignBenchmark(num_points=8, num_centroids=3, dimensions=4)
+        inputs = benchmark.generate_inputs(np.random.default_rng(9))
+        run = benchmark.execute(_precise_context(), inputs)
+        points, centroids = inputs["points"], inputs["centroids"]
+        expected = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_array_equal(run.outputs, expected.ravel())
+
+
+class TestRegistry:
+    def test_available_contains_all_kernels(self):
+        names = available()
+        for expected in ("matmul", "fir", "conv2d", "dct", "sobel", "dotproduct", "kmeans"):
+            assert expected in names
+
+    def test_create_forwards_kwargs(self):
+        benchmark = create("matmul", rows=7, inner=7, cols=7)
+        assert benchmark.rows == 7
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(UnknownBenchmarkError):
+            create("not-a-benchmark")
+
+    def test_register_duplicate_raises(self):
+        with pytest.raises(ConfigurationError):
+            register("matmul", MatMulBenchmark)
+
+    def test_register_empty_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            register("", MatMulBenchmark)
+
+    def test_paper_benchmarks_are_the_four_table3_configurations(self):
+        configured = paper_benchmarks()
+        assert set(configured) == {"matmul_10x10", "matmul_50x50", "fir_100", "fir_200"}
+        assert configured["matmul_50x50"].rows == 50
+        assert configured["fir_200"].num_samples == 200

@@ -1,0 +1,118 @@
+"""Tests for exploration campaigns and the CSV / JSON export helpers."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.agents import QLearningAgent, RandomAgent
+from repro.analysis import result_to_dict, trace_rows, write_result_json, write_trace_csv
+from repro.benchmarks import DotProductBenchmark, MatMulBenchmark
+from repro.dse import Campaign, explore
+from repro.errors import AnalysisError, ExplorationError
+
+
+def _agent_factory(environment, seed):
+    return QLearningAgent(num_actions=environment.action_space.n, epsilon=0.3, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def small_campaign_entries():
+    campaign = Campaign(
+        benchmarks={
+            "dot": DotProductBenchmark(length=16),
+            "matmul": MatMulBenchmark(rows=3, inner=3, cols=3),
+        },
+        agent_factory=_agent_factory,
+        max_steps=40,
+        seeds=(0, 1),
+    )
+    return campaign.run()
+
+
+@pytest.fixture
+def exploration_result(matmul_env):
+    agent = RandomAgent(num_actions=matmul_env.action_space.n, seed=0)
+    return explore(matmul_env, agent, max_steps=30, seed=0)
+
+
+class TestCampaign:
+    def test_runs_every_benchmark_and_seed(self, small_campaign_entries):
+        labels = {(entry.benchmark_label, entry.seed) for entry in small_campaign_entries}
+        assert labels == {("dot", 0), ("dot", 1), ("matmul", 0), ("matmul", 1)}
+
+    def test_entries_carry_full_results(self, small_campaign_entries):
+        for entry in small_campaign_entries:
+            assert entry.result.num_steps >= 1
+            assert entry.result.agent_name == "q-learning"
+
+    def test_summary_aggregates_per_benchmark(self, small_campaign_entries):
+        summaries = Campaign.summarize(small_campaign_entries)
+        assert set(summaries) == {"dot", "matmul"}
+        for summary in summaries.values():
+            assert summary.runs == 2
+            assert 0.0 <= summary.mean_feasible_fraction <= 1.0
+            assert np.isfinite(summary.mean_solution_power_mw)
+
+    def test_validation(self):
+        with pytest.raises(ExplorationError):
+            Campaign(benchmarks={}, agent_factory=_agent_factory)
+        with pytest.raises(ExplorationError):
+            Campaign(benchmarks={"dot": DotProductBenchmark(8)}, agent_factory=_agent_factory,
+                     seeds=())
+        with pytest.raises(ExplorationError):
+            Campaign(benchmarks={"dot": DotProductBenchmark(8)}, agent_factory=_agent_factory,
+                     max_steps=0)
+
+    def test_env_kwargs_forwarded(self):
+        campaign = Campaign(
+            benchmarks={"dot": DotProductBenchmark(length=8)},
+            agent_factory=_agent_factory,
+            max_steps=10,
+            seeds=(0,),
+            env_kwargs={"accuracy_factor": 0.1},
+        )
+        entries = campaign.run()
+        # accth = 0.1 x mean output instead of the default 0.4 x.
+        assert entries[0].result.thresholds.accuracy > 0
+
+
+class TestExport:
+    def test_trace_rows_match_records(self, exploration_result):
+        rows = trace_rows(exploration_result)
+        assert len(rows) == exploration_result.num_steps
+        assert rows[0]["step"] == 0
+        assert rows[0]["action"] is None
+        assert set(rows[0]) >= {"delta_power_mw", "delta_time_ns", "delta_accuracy", "reward"}
+
+    def test_write_trace_csv_round_trip(self, exploration_result, tmp_path):
+        path = write_trace_csv(exploration_result, tmp_path / "trace.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == exploration_result.num_steps
+        assert float(rows[-1]["cumulative_reward"]) == pytest.approx(
+            exploration_result.records[-1].cumulative_reward
+        )
+
+    def test_result_to_dict_is_json_serialisable(self, exploration_result):
+        payload = result_to_dict(exploration_result)
+        encoded = json.dumps(payload)
+        decoded = json.loads(encoded)
+        assert decoded["steps"] == exploration_result.num_steps
+        assert decoded["benchmark"] == exploration_result.benchmark_name
+        assert "power_mw" in decoded and "solution" in decoded["power_mw"]
+
+    def test_write_result_json(self, exploration_result, tmp_path):
+        path = write_result_json(exploration_result, tmp_path / "result.json")
+        decoded = json.loads(path.read_text())
+        assert decoded["agent"] == "random"
+        assert decoded["thresholds"]["power_mw"] == pytest.approx(
+            exploration_result.thresholds.power_mw
+        )
+
+    def test_write_result_json_negative_indent_raises(self, exploration_result, tmp_path):
+        with pytest.raises(AnalysisError):
+            write_result_json(exploration_result, tmp_path / "result.json", indent=-1)

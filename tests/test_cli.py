@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_explore_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.benchmark == "matmul"
+        assert args.steps == 2000
+        assert args.agent == "q-learning"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--benchmark", "nothing"])
+
+
+class TestCommands:
+    def test_list_benchmarks(self, capsys):
+        assert main(["list-benchmarks"]) == 0
+        output = capsys.readouterr().out
+        assert "matmul" in output
+        assert "fir" in output
+
+    def test_characterize_without_measurement(self, capsys):
+        assert main(["characterize", "--no-measure"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert "add8_00M" in output
+        assert "mul32_043" in output
+
+    def test_explore_prints_table3_row(self, capsys):
+        assert main(["explore", "--benchmark", "dotproduct", "--steps", "40", "--figures"]) == 0
+        output = capsys.readouterr().out
+        assert "Δpower sol" in output
+        assert "Trend lines" in output
+        assert "Average reward" in output
+
+    def test_explore_with_random_agent(self, capsys):
+        assert main(["explore", "--benchmark", "dotproduct", "--steps", "20",
+                     "--agent", "random"]) == 0
+        assert "Exploration of" in capsys.readouterr().out
+
+    def test_compare_runs_all_explorers(self, capsys):
+        assert main(["compare", "--benchmark", "dotproduct", "--steps", "30"]) == 0
+        output = capsys.readouterr().out
+        assert "q-learning" in output
+        assert "simulated-annealing" in output
+        assert "genetic" in output

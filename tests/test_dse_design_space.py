@@ -1,0 +1,126 @@
+"""Tests for design points and the design space (Equation 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dse import DesignPoint, DesignSpace
+from repro.errors import DesignSpaceError
+from repro.operators import default_catalog
+
+
+@pytest.fixture
+def space(small_matmul, catalog):
+    return DesignSpace(small_matmul, catalog.restrict_widths(8, 8))
+
+
+class TestDesignPoint:
+    def test_key_round_trip(self):
+        point = DesignPoint(2, 3, (True, False, True))
+        assert point.key() == (2, 3, (True, False, True))
+
+    def test_with_adder_and_multiplier(self):
+        point = DesignPoint(1, 1, (False,))
+        assert point.with_adder(4).adder_index == 4
+        assert point.with_multiplier(5).multiplier_index == 5
+        # the original is unchanged (frozen dataclass)
+        assert point.adder_index == 1
+
+    def test_toggle_variable(self):
+        point = DesignPoint(1, 1, (False, False))
+        toggled = point.with_variable_toggled(1)
+        assert toggled.variables == (False, True)
+        assert toggled.with_variable_toggled(1).variables == (False, False)
+
+    def test_toggle_out_of_range_raises(self):
+        with pytest.raises(DesignSpaceError):
+            DesignPoint(1, 1, (False,)).with_variable_toggled(3)
+
+    def test_zero_index_raises(self):
+        with pytest.raises(DesignSpaceError):
+            DesignPoint(0, 1, (False,))
+
+    def test_num_approximated_and_all_selected(self):
+        assert DesignPoint(1, 1, (True, False, True)).num_approximated == 2
+        assert DesignPoint(1, 1, (True, True)).all_variables_selected
+        assert not DesignPoint(1, 1, (True, False)).all_variables_selected
+
+    def test_variable_mask(self):
+        mask = DesignPoint(1, 1, (True, False)).variable_mask()
+        np.testing.assert_array_equal(mask, [1, 0])
+        assert mask.dtype == np.int8
+
+    def test_variables_coerced_to_bools(self):
+        point = DesignPoint(1, 1, (1, 0))
+        assert point.variables == (True, False)
+
+    def test_str_representation(self):
+        assert "adder=2" in str(DesignPoint(2, 3, (True,)))
+
+
+class TestDesignSpace:
+    def test_dimensions_and_size(self, space, small_matmul):
+        assert space.num_adders == 6
+        assert space.num_multipliers == 6
+        assert space.num_variables == small_matmul.num_variables
+        assert space.size == 6 * 6 * 2 ** small_matmul.num_variables
+
+    def test_initial_and_most_aggressive_points(self, space):
+        initial = space.initial_point()
+        assert initial.adder_index == 1 and initial.multiplier_index == 1
+        assert initial.num_approximated == 0
+        aggressive = space.most_aggressive_point()
+        assert aggressive.adder_index == space.num_adders
+        assert aggressive.all_variables_selected
+
+    def test_random_point_is_valid(self, space):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert space.contains(space.random_point(rng))
+
+    def test_contains_rejects_bad_points(self, space):
+        assert not space.contains(DesignPoint(7, 1, (False,) * space.num_variables))
+        assert not space.contains(DesignPoint(1, 7, (False,) * space.num_variables))
+        assert not space.contains(DesignPoint(1, 1, (False,) * (space.num_variables + 1)))
+
+    def test_validate_raises_for_bad_points(self, space):
+        with pytest.raises(DesignSpaceError):
+            space.validate(DesignPoint(7, 1, (False,) * space.num_variables))
+
+    def test_neighbors_follow_single_knob_moves(self, space):
+        point = DesignPoint(3, 3, (False,) * space.num_variables)
+        neighbors = list(space.neighbors(point))
+        # adder +/-1, multiplier +/-1, toggle each variable
+        assert len(neighbors) == 4 + space.num_variables
+        for neighbor in neighbors:
+            differences = 0
+            differences += neighbor.adder_index != point.adder_index
+            differences += neighbor.multiplier_index != point.multiplier_index
+            differences += sum(
+                a != b for a, b in zip(neighbor.variables, point.variables)
+            )
+            assert differences == 1
+
+    def test_neighbors_respect_boundaries(self, space):
+        corner = space.initial_point()
+        neighbors = list(space.neighbors(corner))
+        assert all(space.contains(neighbor) for neighbor in neighbors)
+        # at the lower corner only +1 moves exist for adder and multiplier
+        assert len(neighbors) == 2 + space.num_variables
+
+    def test_enumerate_covers_the_whole_space(self, space):
+        points = list(space.enumerate())
+        assert len(points) == space.size
+        assert len({point.key() for point in points}) == space.size
+
+    def test_benchmark_without_variables_rejected(self, catalog):
+        from repro.benchmarks import MatMulBenchmark
+
+        benchmark = MatMulBenchmark(rows=2, inner=2, cols=2)
+        benchmark.variables = ()
+        with pytest.raises(DesignSpaceError):
+            DesignSpace(benchmark, catalog)
+
+    def test_repr_mentions_benchmark(self, space, small_matmul):
+        assert small_matmul.name in repr(space)

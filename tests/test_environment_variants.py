@@ -1,0 +1,129 @@
+"""Tests for environment / agent combinations beyond the defaults.
+
+Covers the alternative reward function, the threshold-aware state encoder,
+gymlite wrappers around the DSE environment, and the termination paths of
+the exploration — configuration variants the ablation benches rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.gymlite as gym
+from repro.agents import QLearningAgent, ThresholdBucketEncoder
+from repro.benchmarks import DotProductBenchmark
+from repro.dse import (
+    Algorithm1Reward,
+    AxcDseEnv,
+    DesignPoint,
+    Explorer,
+    ScalarizedReward,
+    explore,
+)
+
+
+class TestScalarizedRewardEnvironment:
+    def test_exploration_runs_with_dense_reward(self, small_matmul):
+        environment = AxcDseEnv(small_matmul, reward_function=ScalarizedReward())
+        agent = QLearningAgent(num_actions=environment.action_space.n, epsilon=0.3, seed=0)
+        result = explore(environment, agent, max_steps=60, seed=0)
+        assert result.num_steps >= 2
+        # The dense reward is continuous, not the +-1/+-R of Algorithm 1.
+        rewards = set(np.round(result.reward_series()[1:], 6))
+        assert len(rewards) > 4
+
+    def test_dense_reward_terminates_on_cumulative_maximum(self, small_matmul):
+        environment = AxcDseEnv(small_matmul, reward_function=ScalarizedReward(),
+                                max_cumulative_reward=5.0)
+        agent = QLearningAgent(num_actions=environment.action_space.n, epsilon=0.5, seed=0)
+        result = explore(environment, agent, max_steps=400, seed=0)
+        if result.terminated:
+            assert result.records[-1].cumulative_reward >= 5.0
+
+
+class TestAlgorithm1Termination:
+    def test_terminate_flag_at_most_aggressive_feasible_point(self, small_matmul):
+        # Force a huge accuracy threshold so the most aggressive point is
+        # feasible; stepping onto it must terminate with the maximum reward.
+        from repro.dse import ExplorationThresholds
+
+        environment = AxcDseEnv(
+            small_matmul,
+            thresholds=ExplorationThresholds(accuracy=1e12, power_mw=0.0, time_ns=0.0),
+            max_cumulative_reward=100.0,
+        )
+        environment.reset(options={"design_point": DesignPoint(
+            environment.design_space.num_adders,
+            environment.design_space.num_multipliers,
+            (True, True, False),
+        )})
+        # Toggle the last variable: the new state is the most aggressive point.
+        toggle_last = 4 + environment.design_space.num_variables - 1
+        _, reward, terminated, _, info = environment.step(toggle_last)
+        assert terminated
+        assert reward == 100.0
+        assert info["terminate_flag"]
+
+    def test_cumulative_reward_termination(self, small_matmul):
+        from repro.dse import ExplorationThresholds
+
+        # Every feasible step earns +1 with these thresholds, so the episode
+        # must stop once the cumulative reward reaches the small maximum.
+        environment = AxcDseEnv(
+            small_matmul,
+            thresholds=ExplorationThresholds(accuracy=1e12, power_mw=0.0, time_ns=0.0),
+            max_cumulative_reward=5.0,
+        )
+        agent = QLearningAgent(num_actions=environment.action_space.n, epsilon=1.0, seed=0)
+        result = explore(environment, agent, max_steps=200, seed=0)
+        assert result.terminated
+        assert result.records[-1].cumulative_reward >= 5.0
+        assert result.num_steps <= 30
+
+
+class TestThresholdBucketEncoder:
+    def test_agent_with_threshold_encoder_explores(self, small_matmul):
+        environment = AxcDseEnv(small_matmul)
+        agent = QLearningAgent(
+            num_actions=environment.action_space.n,
+            epsilon=0.3,
+            state_encoder=ThresholdBucketEncoder(environment.thresholds),
+            seed=0,
+        )
+        result = explore(environment, agent, max_steps=80, seed=0)
+        assert result.num_steps >= 2
+        # The Q-table keys carry the three compliance flags.
+        some_state = next(iter(agent.q_table))
+        assert len(some_state) == 6
+
+
+class TestGymliteIntegration:
+    def test_time_limit_wrapper_truncates_the_dse_env(self):
+        environment = gym.TimeLimit(AxcDseEnv(DotProductBenchmark(length=8)),
+                                    max_episode_steps=7)
+        environment.reset(seed=0)
+        truncated = False
+        steps = 0
+        while not truncated and steps < 20:
+            *_, truncated, _ = environment.step(0)
+            steps += 1
+        assert truncated
+        assert steps == 7
+
+    def test_record_episode_statistics_wrapper(self):
+        environment = gym.RecordEpisodeStatistics(
+            gym.TimeLimit(AxcDseEnv(DotProductBenchmark(length=8)), max_episode_steps=5)
+        )
+        environment.reset(seed=0)
+        info = {}
+        done = False
+        while not done:
+            _, _, terminated, truncated, info = environment.step(2)
+            done = terminated or truncated
+        assert info["episode"]["l"] == 5
+
+    def test_registered_env_with_custom_kwargs(self):
+        environment = gym.make("repro/AxcDse-v0", benchmark=DotProductBenchmark(length=8),
+                               action_scheme="compact", max_episode_steps=3)
+        assert environment.action_space.n == 3

@@ -1,0 +1,50 @@
+"""Tests of the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_library_errors_derive_from_repro_error():
+    exception_types = [
+        errors.ConfigurationError,
+        errors.DesignSpaceError,
+        errors.OperatorError,
+        errors.UnknownOperatorError,
+        errors.BenchmarkError,
+        errors.UnknownBenchmarkError,
+        errors.InstrumentationError,
+        errors.EnvironmentError_,
+        errors.ResetNeeded,
+        errors.InvalidAction,
+        errors.ExplorationError,
+        errors.AgentError,
+        errors.AnalysisError,
+    ]
+    for exception_type in exception_types:
+        assert issubclass(exception_type, errors.ReproError)
+
+
+def test_unknown_operator_error_is_a_key_error():
+    assert issubclass(errors.UnknownOperatorError, KeyError)
+    error = errors.UnknownOperatorError("add8_XYZ")
+    assert "add8_XYZ" in str(error)
+    assert error.name == "add8_XYZ"
+
+
+def test_unknown_benchmark_error_is_a_key_error():
+    assert issubclass(errors.UnknownBenchmarkError, KeyError)
+    error = errors.UnknownBenchmarkError("missing")
+    assert "missing" in str(error)
+
+
+def test_reset_needed_and_invalid_action_are_environment_errors():
+    assert issubclass(errors.ResetNeeded, errors.EnvironmentError_)
+    assert issubclass(errors.InvalidAction, errors.EnvironmentError_)
+
+
+def test_catching_repro_error_catches_specific_errors():
+    with pytest.raises(errors.ReproError):
+        raise errors.DesignSpaceError("bad point")

@@ -1,0 +1,165 @@
+"""Tests for the gymlite Env / Wrapper base classes, registry and seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.gymlite as gym
+from repro.errors import ConfigurationError
+from repro.gymlite import spaces
+from repro.gymlite.seeding import np_random
+
+
+class CountingEnv(gym.Env):
+    """A tiny environment that terminates after ``limit`` steps."""
+
+    def __init__(self, limit: int = 5):
+        self.limit = limit
+        self.count = 0
+        self.observation_space = spaces.Discrete(limit + 1)
+        self.action_space = spaces.Discrete(2)
+
+    def reset(self, *, seed=None, options=None):
+        super().reset(seed=seed)
+        self.count = 0
+        return self.count, {}
+
+    def step(self, action):
+        self.count += 1
+        terminated = self.count >= self.limit
+        return self.count, float(action), terminated, False, {}
+
+
+class TestSeeding:
+    def test_same_seed_same_stream(self):
+        first, _ = np_random(7)
+        second, _ = np_random(7)
+        assert first.integers(0, 1000, 10).tolist() == second.integers(0, 1000, 10).tolist()
+
+    def test_none_seed_returns_used_seed(self):
+        generator, seed = np_random(None)
+        assert isinstance(generator, np.random.Generator)
+        assert seed >= 0
+
+    def test_negative_seed_raises(self):
+        with pytest.raises(ConfigurationError):
+            np_random(-1)
+
+    def test_non_integer_seed_raises(self):
+        with pytest.raises(ConfigurationError):
+            np_random(1.5)
+
+
+class TestEnv:
+    def test_reset_seeds_np_random(self):
+        env = CountingEnv()
+        env.reset(seed=3)
+        first = env.np_random.integers(0, 100, 5).tolist()
+        env.reset(seed=3)
+        second = env.np_random.integers(0, 100, 5).tolist()
+        assert first == second
+
+    def test_step_five_tuple(self):
+        env = CountingEnv(limit=2)
+        env.reset()
+        observation, reward, terminated, truncated, info = env.step(1)
+        assert observation == 1
+        assert reward == 1.0
+        assert terminated is False
+        assert truncated is False
+        assert info == {}
+
+    def test_context_manager_closes(self):
+        with CountingEnv() as env:
+            env.reset()
+        # close() is a no-op but the protocol must not raise.
+
+    def test_unwrapped_is_self(self):
+        env = CountingEnv()
+        assert env.unwrapped is env
+
+
+class TestWrappers:
+    def test_time_limit_truncates(self):
+        env = gym.TimeLimit(CountingEnv(limit=100), max_episode_steps=3)
+        env.reset()
+        results = [env.step(0) for _ in range(3)]
+        assert results[-1][3] is True  # truncated on the third step
+        assert results[0][3] is False
+
+    def test_time_limit_requires_reset(self):
+        env = gym.TimeLimit(CountingEnv(), max_episode_steps=3)
+        from repro.errors import ResetNeeded
+
+        with pytest.raises(ResetNeeded):
+            env.step(0)
+
+    def test_time_limit_rejects_bad_limit(self):
+        with pytest.raises(ConfigurationError):
+            gym.TimeLimit(CountingEnv(), max_episode_steps=0)
+
+    def test_order_enforcing(self):
+        from repro.errors import ResetNeeded
+
+        env = gym.OrderEnforcing(CountingEnv())
+        with pytest.raises(ResetNeeded):
+            env.step(0)
+        env.reset()
+        env.step(0)
+
+    def test_record_episode_statistics(self):
+        env = gym.RecordEpisodeStatistics(CountingEnv(limit=3))
+        env.reset()
+        info = {}
+        for _ in range(3):
+            _, _, terminated, _, info = env.step(1)
+        assert terminated
+        assert info["episode"]["l"] == 3
+        assert info["episode"]["r"] == pytest.approx(3.0)
+        assert list(env.return_queue) == [3.0]
+
+    def test_wrapper_delegates_attributes(self):
+        env = gym.TimeLimit(CountingEnv(limit=7), max_episode_steps=10)
+        assert env.limit == 7
+        assert env.unwrapped.limit == 7
+
+
+class TestRegistry:
+    def test_register_and_make(self):
+        env_id = "tests/Counting-v0"
+        if env_id not in gym.registry:
+            gym.register(env_id, CountingEnv, max_episode_steps=4, limit=10)
+        env = gym.make(env_id)
+        env.reset()
+        truncated = False
+        for _ in range(4):
+            *_, truncated, _ = env.step(0)
+        assert truncated
+
+    def test_make_kwargs_override(self):
+        env_id = "tests/Counting-v1"
+        if env_id not in gym.registry:
+            gym.register(env_id, CountingEnv, limit=10)
+        env = gym.make(env_id, limit=2)
+        assert env.limit == 2
+
+    def test_duplicate_registration_raises(self):
+        env_id = "tests/Counting-v2"
+        if env_id not in gym.registry:
+            gym.register(env_id, CountingEnv)
+        with pytest.raises(ConfigurationError):
+            gym.register(env_id, CountingEnv)
+
+    def test_make_unknown_id_raises(self):
+        with pytest.raises(ConfigurationError):
+            gym.make("tests/DoesNotExist-v0")
+
+    def test_pprint_registry_lists_ids(self):
+        env_id = "tests/Counting-v3"
+        if env_id not in gym.registry:
+            gym.register(env_id, CountingEnv)
+        assert env_id in gym.pprint_registry()
+
+    def test_axc_env_is_registered(self):
+        assert "repro/AxcDse-v0" in gym.registry

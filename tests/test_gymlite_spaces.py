@@ -1,0 +1,162 @@
+"""Tests for the gymlite observation / action spaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gymlite import spaces
+
+
+class TestDiscrete:
+    def test_sample_is_contained(self):
+        space = spaces.Discrete(5, seed=0)
+        for _ in range(50):
+            assert space.contains(space.sample())
+
+    def test_start_offset(self):
+        space = spaces.Discrete(3, start=1, seed=0)
+        samples = {space.sample() for _ in range(100)}
+        assert samples == {1, 2, 3}
+
+    def test_contains_rejects_out_of_range(self):
+        space = spaces.Discrete(4)
+        assert not space.contains(-1)
+        assert not space.contains(4)
+        assert space.contains(0)
+        assert space.contains(3)
+
+    def test_contains_rejects_bool_and_float(self):
+        space = spaces.Discrete(2)
+        assert not space.contains(True)
+        assert not space.contains(0.5)
+
+    def test_contains_accepts_numpy_scalars(self):
+        space = spaces.Discrete(4)
+        assert space.contains(np.int64(2))
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ConfigurationError):
+            spaces.Discrete(0)
+        with pytest.raises(ConfigurationError):
+            spaces.Discrete(-3)
+
+    def test_equality(self):
+        assert spaces.Discrete(4) == spaces.Discrete(4)
+        assert spaces.Discrete(4) != spaces.Discrete(4, start=1)
+
+    def test_seeding_is_reproducible(self):
+        first = spaces.Discrete(100, seed=42)
+        second = spaces.Discrete(100, seed=42)
+        assert [first.sample() for _ in range(10)] == [second.sample() for _ in range(10)]
+
+
+class TestMultiBinary:
+    def test_sample_shape_and_values(self):
+        space = spaces.MultiBinary(6, seed=0)
+        sample = space.sample()
+        assert sample.shape == (6,)
+        assert set(np.unique(sample)).issubset({0, 1})
+
+    def test_contains(self):
+        space = spaces.MultiBinary(3)
+        assert space.contains(np.array([0, 1, 1]))
+        assert not space.contains(np.array([0, 2, 1]))
+        assert not space.contains(np.array([0, 1]))
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ConfigurationError):
+            spaces.MultiBinary(0)
+
+
+class TestMultiDiscrete:
+    def test_sample_is_contained(self):
+        space = spaces.MultiDiscrete([3, 5, 2], seed=0)
+        for _ in range(50):
+            assert space.contains(space.sample())
+
+    def test_contains_rejects_wrong_shape_and_range(self):
+        space = spaces.MultiDiscrete([3, 5])
+        assert not space.contains([3, 0])
+        assert not space.contains([0, 0, 0])
+        assert space.contains([2, 4])
+
+    def test_invalid_nvec_raises(self):
+        with pytest.raises(ConfigurationError):
+            spaces.MultiDiscrete([])
+        with pytest.raises(ConfigurationError):
+            spaces.MultiDiscrete([3, 0])
+
+
+class TestBox:
+    def test_sample_is_contained_for_bounded_box(self):
+        space = spaces.Box(low=-1.0, high=1.0, shape=(3,), seed=0)
+        for _ in range(20):
+            assert space.contains(space.sample())
+
+    def test_contains_checks_bounds(self):
+        space = spaces.Box(low=0.0, high=1.0, shape=(2,))
+        assert space.contains(np.array([0.5, 0.5]))
+        assert not space.contains(np.array([1.5, 0.5]))
+
+    def test_unbounded_box_contains_anything_of_right_shape(self):
+        space = spaces.Box(low=-np.inf, high=np.inf, shape=(3,))
+        assert space.contains(np.array([1e12, -1e12, 0.0]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            spaces.Box(low=np.zeros(2), high=np.ones(3))
+
+    def test_low_greater_than_high_raises(self):
+        with pytest.raises(ConfigurationError):
+            spaces.Box(low=1.0, high=0.0, shape=(1,))
+
+
+class TestDictSpace:
+    def _space(self, seed=None):
+        return spaces.Dict(
+            {
+                "adder": spaces.Discrete(6, start=1),
+                "variables": spaces.MultiBinary(3),
+            },
+            seed=seed,
+        )
+
+    def test_sample_is_contained(self):
+        space = self._space(seed=0)
+        for _ in range(20):
+            assert space.contains(space.sample())
+
+    def test_contains_requires_all_keys(self):
+        space = self._space()
+        assert not space.contains({"adder": 1})
+
+    def test_getitem_and_len(self):
+        space = self._space()
+        assert isinstance(space["adder"], spaces.Discrete)
+        assert len(space) == 2
+
+    def test_empty_dict_raises(self):
+        with pytest.raises(ConfigurationError):
+            spaces.Dict({})
+
+    def test_non_space_value_raises(self):
+        with pytest.raises(ConfigurationError):
+            spaces.Dict({"x": 3})
+
+
+class TestTupleSpace:
+    def test_sample_and_contains(self):
+        space = spaces.Tuple([spaces.Discrete(3), spaces.MultiBinary(2)], seed=0)
+        sample = space.sample()
+        assert space.contains(sample)
+        assert len(space) == 2
+
+    def test_contains_rejects_wrong_length(self):
+        space = spaces.Tuple([spaces.Discrete(3)])
+        assert not space.contains((1, 2))
+
+    def test_empty_tuple_raises(self):
+        with pytest.raises(ConfigurationError):
+            spaces.Tuple([])

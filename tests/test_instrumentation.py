@@ -1,0 +1,211 @@
+"""Tests for the approximation context, operation profile and ApproxValue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InstrumentationError
+from repro.instrumentation import ApproxContext, ApproxValue, OperationProfile
+from repro.operators import ExactAdder, ExactMultiplier, OperandTruncationMultiplier, TruncatedAdder
+
+
+@pytest.fixture
+def exact_units():
+    return ExactAdder(8, name="exact_add"), ExactMultiplier(8, name="exact_mul")
+
+
+@pytest.fixture
+def approx_units():
+    return (
+        TruncatedAdder(8, cut=3, name="approx_add"),
+        OperandTruncationMultiplier(8, cut=3, name="approx_mul"),
+    )
+
+
+class TestOperationProfile:
+    def test_record_and_count(self):
+        profile = OperationProfile()
+        profile.record("unit_a", 10)
+        profile.record("unit_a", 5)
+        profile.record("unit_b", 1)
+        assert profile.count("unit_a") == 15
+        assert profile.count("unit_b") == 1
+        assert profile.count("unit_c") == 0
+        assert profile.total_operations == 16
+
+    def test_zero_count_is_ignored(self):
+        profile = OperationProfile()
+        profile.record("unit_a", 0)
+        assert len(profile) == 0
+
+    def test_negative_count_raises(self):
+        with pytest.raises(InstrumentationError):
+            OperationProfile().record("unit_a", -1)
+
+    def test_merge(self):
+        first = OperationProfile()
+        first.record("unit_a", 2)
+        second = OperationProfile()
+        second.record("unit_a", 3)
+        second.record("unit_b", 1)
+        merged = first.merge(second)
+        assert merged.count("unit_a") == 5
+        assert merged.count("unit_b") == 1
+        assert first.count("unit_a") == 2  # originals untouched
+
+    def test_as_dict_and_clear(self):
+        profile = OperationProfile()
+        profile.record("unit_a", 2)
+        assert profile.as_dict() == {"unit_a": 2}
+        profile.clear()
+        assert profile.total_operations == 0
+
+    def test_equality(self):
+        first = OperationProfile()
+        second = OperationProfile()
+        first.record("x", 1)
+        second.record("x", 1)
+        assert first == second
+
+
+class TestApproxContext:
+    def test_precise_context_uses_exact_units(self, exact_units, approx_units):
+        exact_adder, exact_multiplier = exact_units
+        context = ApproxContext(exact_adder, exact_multiplier)
+        result = context.add(3, 4, variables=("x",))
+        assert int(result) == 7
+        assert context.profile.count("exact_add") == 1
+        assert context.is_precise
+
+    def test_approximate_dispatch_on_selected_variable(self, exact_units, approx_units):
+        exact_adder, exact_multiplier = exact_units
+        approx_adder, approx_multiplier = approx_units
+        context = ApproxContext(exact_adder, exact_multiplier, approx_adder, approx_multiplier,
+                                approximate_variables=("x",))
+        context.add(100, 27, variables=("x",))
+        context.add(100, 27, variables=("y",))
+        assert context.profile.count("approx_add") == 1
+        assert context.profile.count("exact_add") == 1
+
+    def test_any_selected_variable_triggers_approximation(self, exact_units, approx_units):
+        exact_adder, exact_multiplier = exact_units
+        approx_adder, approx_multiplier = approx_units
+        context = ApproxContext(exact_adder, exact_multiplier, approx_adder, approx_multiplier,
+                                approximate_variables=("x",))
+        context.mul(10, 20, variables=("y", "x"))
+        assert context.profile.count("approx_mul") == 1
+
+    def test_vectorised_operations_count_elements(self, exact_units):
+        exact_adder, exact_multiplier = exact_units
+        context = ApproxContext(exact_adder, exact_multiplier)
+        context.add(np.arange(10), np.arange(10))
+        context.mul(np.arange(6).reshape(2, 3), 2)
+        assert context.profile.count("exact_add") == 10
+        assert context.profile.count("exact_mul") == 6
+
+    def test_sub_uses_the_adder(self, exact_units):
+        exact_adder, exact_multiplier = exact_units
+        context = ApproxContext(exact_adder, exact_multiplier)
+        result = context.sub(10, 4)
+        assert int(result) == 6
+        assert context.profile.count("exact_add") == 1
+
+    def test_accumulate_counts_chain_of_adds(self, exact_units):
+        exact_adder, exact_multiplier = exact_units
+        context = ApproxContext(exact_adder, exact_multiplier)
+        values = np.arange(12).reshape(4, 3)
+        totals = context.accumulate(values, axis=0)
+        np.testing.assert_array_equal(totals, values.sum(axis=0))
+        assert context.profile.count("exact_add") == 4 * 3
+
+    def test_accumulate_empty_raises(self, exact_units):
+        exact_adder, exact_multiplier = exact_units
+        context = ApproxContext(exact_adder, exact_multiplier)
+        with pytest.raises(InstrumentationError):
+            context.accumulate(np.empty((0,), dtype=np.int64))
+
+    def test_reset_profile(self, exact_units):
+        exact_adder, exact_multiplier = exact_units
+        context = ApproxContext(exact_adder, exact_multiplier)
+        context.add(1, 2)
+        context.reset_profile()
+        assert context.profile.total_operations == 0
+
+    def test_kind_mismatch_raises(self, exact_units):
+        exact_adder, exact_multiplier = exact_units
+        with pytest.raises(InstrumentationError):
+            ApproxContext(exact_multiplier, exact_adder)
+
+    def test_no_variables_selected_is_precise(self, exact_units, approx_units):
+        exact_adder, exact_multiplier = exact_units
+        approx_adder, approx_multiplier = approx_units
+        context = ApproxContext(exact_adder, exact_multiplier, approx_adder, approx_multiplier)
+        assert context.is_precise
+        context.add(5, 5, variables=("x",))
+        assert context.profile.count("exact_add") == 1
+
+
+class TestApproxValue:
+    def _context(self, exact_units, approx_units, selected=("x",)):
+        exact_adder, exact_multiplier = exact_units
+        approx_adder, approx_multiplier = approx_units
+        return ApproxContext(exact_adder, exact_multiplier, approx_adder, approx_multiplier,
+                             approximate_variables=selected)
+
+    def test_tagged_arithmetic_dispatches_to_context(self, exact_units, approx_units):
+        context = self._context(exact_units, approx_units)
+        x = ApproxValue(context, "x", 40)
+        y = ApproxValue(context, "y", 3)
+        product = x * y
+        assert context.profile.count("approx_mul") == 1
+        assert isinstance(product, ApproxValue)
+        assert product.variable is None
+
+    def test_untagged_arithmetic_stays_exact(self, exact_units, approx_units):
+        context = self._context(exact_units, approx_units)
+        y = ApproxValue(context, "y", 40)
+        z = ApproxValue(context, "z", 3)
+        result = y + z
+        assert context.profile.count("exact_add") == 1
+        assert int(result) == 43
+
+    def test_mixing_with_plain_ints(self, exact_units, approx_units):
+        context = self._context(exact_units, approx_units)
+        x = ApproxValue(context, "x", 10)
+        assert int(x + 5) == 15 or context.profile.count("approx_add") == 1
+        assert int(3 * ApproxValue(context, "y", 4)) == 12
+
+    def test_subtraction_and_negation(self, exact_units, approx_units):
+        context = self._context(exact_units, approx_units, selected=())
+        a = ApproxValue(context, "a", 10)
+        b = ApproxValue(context, "b", 4)
+        assert int(a - b) == 6
+        assert int(-b) == -4
+
+    def test_retag(self, exact_units, approx_units):
+        context = self._context(exact_units, approx_units)
+        value = ApproxValue(context, None, 7).retag("acc")
+        assert value.variable == "acc"
+
+    def test_cross_context_mix_raises(self, exact_units, approx_units):
+        first = self._context(exact_units, approx_units)
+        second = self._context(exact_units, approx_units)
+        with pytest.raises(InstrumentationError):
+            ApproxValue(first, "x", 1) + ApproxValue(second, "x", 2)
+
+    def test_non_integer_value_raises(self, exact_units, approx_units):
+        context = self._context(exact_units, approx_units)
+        with pytest.raises(InstrumentationError):
+            ApproxValue(context, "x", 1.5)
+
+    def test_scalar_conversion_of_vector_raises(self, exact_units, approx_units):
+        context = self._context(exact_units, approx_units)
+        vector = ApproxValue(context, "x", np.arange(3))
+        with pytest.raises(InstrumentationError):
+            int(vector)
+
+    def test_array_conversion(self, exact_units, approx_units):
+        context = self._context(exact_units, approx_units)
+        vector = ApproxValue(context, "x", np.arange(3))
+        np.testing.assert_array_equal(np.asarray(vector), np.arange(3))

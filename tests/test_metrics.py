@@ -1,0 +1,90 @@
+"""Tests for the accuracy metrics and objective deltas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import (
+    ObjectiveDeltas,
+    accuracy_degradation,
+    compute_deltas,
+    max_absolute_error,
+    mean_absolute_error,
+    mean_error,
+    relative_accuracy_loss,
+    root_mean_squared_error,
+)
+from repro.operators.energy import RunCost
+
+
+class TestAccuracyMetrics:
+    def test_mae_of_identical_outputs_is_zero(self):
+        outputs = np.array([1, 2, 3])
+        assert mean_absolute_error(outputs, outputs) == 0.0
+
+    def test_mae_matches_hand_computation(self):
+        assert mean_absolute_error([10, 20, 30], [12, 18, 30]) == pytest.approx(4 / 3)
+
+    def test_mean_error_is_signed_equation_2(self):
+        # Equation 2 averages exact - approx without the absolute value.
+        assert mean_error([10, 20], [12, 18]) == pytest.approx(0.0)
+        assert mean_absolute_error([10, 20], [12, 18]) == pytest.approx(2.0)
+
+    def test_accuracy_degradation_default_is_mae(self):
+        assert accuracy_degradation([10, 20], [12, 18]) == pytest.approx(2.0)
+        assert accuracy_degradation([10, 20], [12, 18], signed=True) == pytest.approx(0.0)
+
+    def test_relative_accuracy_loss(self):
+        assert relative_accuracy_loss([10, 10], [9, 9]) == pytest.approx(0.1)
+
+    def test_relative_loss_with_zero_outputs(self):
+        assert relative_accuracy_loss([0, 0], [0, 0]) == 0.0
+        assert relative_accuracy_loss([0, 0], [1, 0]) == float("inf")
+
+    def test_rmse_and_max_error(self):
+        assert root_mean_squared_error([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+        assert max_absolute_error([0, 0], [3, 4]) == 4.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            mean_absolute_error([1, 2], [1, 2, 3])
+
+    def test_empty_outputs_raise(self):
+        with pytest.raises(ConfigurationError):
+            mean_absolute_error([], [])
+
+    def test_multidimensional_outputs_are_flattened(self):
+        exact = np.arange(6).reshape(2, 3)
+        approx = exact + 1
+        assert mean_absolute_error(exact, approx) == pytest.approx(1.0)
+
+
+class TestObjectiveDeltas:
+    def test_compute_deltas(self):
+        exact = np.array([100, 200])
+        approx = np.array([90, 210])
+        precise_cost = RunCost(power_mw=50.0, time_ns=100.0, operation_count=10)
+        approx_cost = RunCost(power_mw=20.0, time_ns=60.0, operation_count=10)
+        deltas = compute_deltas(exact, approx, precise_cost, approx_cost)
+        assert deltas.accuracy == pytest.approx(10.0)
+        assert deltas.power_mw == pytest.approx(30.0)
+        assert deltas.time_ns == pytest.approx(40.0)
+
+    def test_signed_accuracy_option(self):
+        exact = np.array([100, 200])
+        approx = np.array([90, 210])
+        deltas = compute_deltas(exact, approx, RunCost(), RunCost(), signed_accuracy=True)
+        assert deltas.accuracy == pytest.approx(0.0)
+
+    def test_as_tuple_and_str(self):
+        deltas = ObjectiveDeltas(accuracy=1.0, power_mw=2.0, time_ns=3.0)
+        assert deltas.as_tuple() == (1.0, 2.0, 3.0)
+        assert "Δacc" in str(deltas)
+
+    def test_precise_version_has_zero_deltas(self):
+        exact = np.array([5, 6, 7])
+        cost = RunCost(power_mw=10.0, time_ns=20.0, operation_count=3)
+        deltas = compute_deltas(exact, exact, cost, cost)
+        assert deltas.as_tuple() == (0.0, 0.0, 0.0)

@@ -1,0 +1,172 @@
+"""Tests for exact and approximate adder behavioural models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, OperatorError
+from repro.operators import (
+    CarryCutAdder,
+    ExactAdder,
+    LowerOrAdder,
+    TruncatedAdder,
+    characterize,
+)
+
+
+class TestExactAdder:
+    def test_scalar_addition(self):
+        adder = ExactAdder(8)
+        assert int(adder.apply(3, 4)) == 7
+
+    def test_vectorised_addition(self):
+        adder = ExactAdder(8)
+        a = np.arange(10)
+        b = np.arange(10, 20)
+        np.testing.assert_array_equal(adder.apply(a, b), a + b)
+
+    def test_negative_operands(self):
+        adder = ExactAdder(8)
+        assert int(adder.apply(-5, 3)) == -2
+        assert int(adder.apply(-100, -27)) == -127
+
+    def test_wide_operands_are_exact(self):
+        adder = ExactAdder(8)
+        assert int(adder.apply(100_000, 250_000)) == 350_000
+
+    def test_is_exact_flag(self):
+        assert ExactAdder(8).is_exact
+        assert not TruncatedAdder(8, cut=2).is_exact
+
+    def test_mred_is_zero(self):
+        report = characterize(ExactAdder(8))
+        assert report.mred_percent == 0.0
+        assert report.error_rate == 0.0
+
+    def test_rejects_float_operands(self):
+        adder = ExactAdder(8)
+        with pytest.raises(OperatorError):
+            adder.apply(1.5, 2)
+
+    def test_accepts_integer_valued_floats(self):
+        adder = ExactAdder(8)
+        assert int(adder.apply(2.0, 3.0)) == 5
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(ConfigurationError):
+            ExactAdder(1)
+        with pytest.raises(ConfigurationError):
+            ExactAdder(64)
+
+    def test_broadcasting(self):
+        adder = ExactAdder(16)
+        result = adder.apply(np.arange(4)[:, None], np.arange(3)[None, :])
+        assert result.shape == (4, 3)
+        np.testing.assert_array_equal(result, np.arange(4)[:, None] + np.arange(3)[None, :])
+
+
+class TestTruncatedAdder:
+    def test_zero_cut_is_exact(self):
+        adder = TruncatedAdder(8, cut=0)
+        a = np.arange(0, 64)
+        b = np.arange(64, 128)
+        np.testing.assert_array_equal(adder.apply(a, b), a + b)
+
+    def test_truncation_never_overestimates(self):
+        adder = TruncatedAdder(8, cut=3)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 128, 500)
+        b = rng.integers(0, 128, 500)
+        assert np.all(adder.apply(a, b) <= a + b)
+
+    def test_error_bounded_by_cut(self):
+        cut = 3
+        adder = TruncatedAdder(8, cut=cut)
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 128, 500)
+        b = rng.integers(0, 128, 500)
+        errors = (a + b) - adder.apply(a, b)
+        assert np.all(errors < 2 * (1 << cut))
+
+    def test_mred_increases_with_cut(self):
+        mreds = [characterize(TruncatedAdder(8, cut=cut), samples=4000).mred_percent
+                 for cut in (1, 3, 5)]
+        assert mreds[0] < mreds[1] < mreds[2]
+
+    def test_invalid_cut_raises(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedAdder(8, cut=8)
+        with pytest.raises(ConfigurationError):
+            TruncatedAdder(8, cut=-1)
+
+    def test_signed_operands_supported(self):
+        adder = TruncatedAdder(8, cut=2)
+        result = int(adder.apply(-60, 40))
+        assert abs(result - (-20)) <= 8  # error bounded by 2 * 2**cut
+
+
+class TestLowerOrAdder:
+    def test_zero_cut_is_exact(self):
+        adder = LowerOrAdder(8, cut=0)
+        a = np.arange(0, 100)
+        b = np.arange(27, 127)
+        np.testing.assert_array_equal(adder.apply(a, b), a + b)
+
+    def test_exact_when_no_low_carries(self):
+        # Operands whose low bits never overlap are added exactly by the OR.
+        adder = LowerOrAdder(8, cut=2)
+        assert int(adder.apply(0b1000, 0b0011)) == 0b1011
+
+    def test_error_bounded(self):
+        cut = 4
+        adder = LowerOrAdder(8, cut=cut)
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 128, 500)
+        b = rng.integers(0, 128, 500)
+        errors = np.abs((a + b) - adder.apply(a, b))
+        assert np.all(errors < (1 << cut))
+
+    def test_less_error_than_truncation(self):
+        loa = characterize(LowerOrAdder(8, cut=4), samples=4000).mred_percent
+        trunc = characterize(TruncatedAdder(8, cut=4), samples=4000).mred_percent
+        assert loa < trunc
+
+
+class TestCarryCutAdder:
+    def test_full_segment_is_exact_for_small_operands(self):
+        adder = CarryCutAdder(8, segment=8)
+        a = np.arange(0, 60)
+        b = np.arange(0, 60)
+        np.testing.assert_array_equal(adder.apply(a, b), a + b)
+
+    def test_small_segments_lose_carries(self):
+        adder = CarryCutAdder(8, segment=2)
+        report = characterize(adder, samples=4000)
+        assert report.mred_percent > 0
+
+    def test_mred_decreases_with_segment_size(self):
+        small = characterize(CarryCutAdder(8, segment=2), samples=4000).mred_percent
+        large = characterize(CarryCutAdder(8, segment=6), samples=4000).mred_percent
+        assert large < small
+
+    def test_invalid_segment_raises(self):
+        with pytest.raises(ConfigurationError):
+            CarryCutAdder(8, segment=0)
+        with pytest.raises(ConfigurationError):
+            CarryCutAdder(8, segment=9)
+
+
+class TestDynamicRangeScaling:
+    def test_wide_operands_keep_relative_error_small(self):
+        adder = TruncatedAdder(8, cut=2)
+        a = np.array([1_000_000])
+        b = np.array([2_000_000])
+        result = adder.apply(a, b)
+        relative_error = abs(int(result[0]) - 3_000_000) / 3_000_000
+        assert relative_error < 0.05
+
+    def test_repr_contains_parameters(self):
+        assert "cut=3" in repr(TruncatedAdder(8, cut=3))
+        assert "segment=2" in repr(CarryCutAdder(8, segment=2))
+        assert "cut=4" in repr(LowerOrAdder(8, cut=4))

@@ -1,0 +1,187 @@
+"""Tests for the operator catalog (Tables I and II) and its characterisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, UnknownOperatorError
+from repro.operators import (
+    OperatorCatalog,
+    OperatorKind,
+    characterize,
+    default_catalog,
+    paper_adders,
+    paper_multipliers,
+)
+
+
+class TestCatalogStructure:
+    def test_table1_has_twelve_adders(self, catalog):
+        assert catalog.num_adders == 12
+        widths = {entry.width for entry in catalog.adders}
+        assert widths == {8, 16}
+
+    def test_table2_has_twelve_multipliers(self, catalog):
+        assert catalog.num_multipliers == 12
+        widths = {entry.width for entry in catalog.multipliers}
+        assert widths == {8, 32}
+
+    def test_entries_sorted_by_published_mred(self, catalog):
+        adder_mreds = [entry.published.mred_percent for entry in catalog.adders]
+        multiplier_mreds = [entry.published.mred_percent for entry in catalog.multipliers]
+        assert adder_mreds == sorted(adder_mreds)
+        assert multiplier_mreds == sorted(multiplier_mreds)
+
+    def test_published_values_match_table1(self, catalog):
+        entry = catalog.entry("add8_00M")
+        assert entry.published.mred_percent == pytest.approx(14.58)
+        assert entry.published.power_mw == pytest.approx(0.0046)
+        assert entry.published.delay_ns == pytest.approx(0.17)
+
+    def test_published_values_match_table2(self, catalog):
+        entry = catalog.entry("mul32_043")
+        assert entry.published.mred_percent == pytest.approx(1.45)
+        assert entry.published.power_mw == pytest.approx(1.63)
+        assert entry.published.delay_ns == pytest.approx(2.440)
+
+    def test_one_based_indexing(self, catalog):
+        assert catalog.adder(1).published.mred_percent == 0.0
+        assert catalog.multiplier(catalog.num_multipliers).name == "mul8_17MJ"
+        with pytest.raises(ConfigurationError):
+            catalog.adder(0)
+        with pytest.raises(ConfigurationError):
+            catalog.multiplier(catalog.num_multipliers + 1)
+
+    def test_index_round_trip(self, catalog):
+        for index in range(1, catalog.num_adders + 1):
+            name = catalog.adder(index).name
+            assert catalog.adder_index(name) == index
+        for index in range(1, catalog.num_multipliers + 1):
+            name = catalog.multiplier(index).name
+            assert catalog.multiplier_index(name) == index
+
+    def test_unknown_operator_raises(self, catalog):
+        with pytest.raises(UnknownOperatorError):
+            catalog.entry("add8_NOPE")
+        with pytest.raises(UnknownOperatorError):
+            catalog.adder_index("mul8_1JJQ")
+
+    def test_contains_and_len(self, catalog):
+        assert "add8_1HG" in catalog
+        assert "nothing" not in catalog
+        assert len(catalog) == 24
+        assert len(catalog.names()) == 24
+
+    def test_instances_are_cached(self, catalog):
+        assert catalog.instance("add8_6PT") is catalog.instance("add8_6PT")
+
+    def test_instance_carries_catalog_name(self, catalog):
+        assert catalog.instance("mul8_L93").name == "mul8_L93"
+
+    def test_exact_references(self, catalog):
+        assert catalog.exact_adder(8).name == "add8_1HG"
+        assert catalog.exact_adder(16).name == "add16_1A5"
+        assert catalog.exact_multiplier(8).name == "mul8_1JJQ"
+        assert catalog.exact_multiplier(32).name == "mul32_precise"
+
+    def test_cost_model_covers_all_operators(self, catalog):
+        model = catalog.cost_model()
+        for name in catalog.names():
+            cost = model.cost_of(name)
+            assert cost.power_mw >= 0
+            assert cost.delay_ns >= 0
+
+
+class TestCatalogBehaviouralModels:
+    def test_exact_entries_have_zero_measured_mred(self, catalog):
+        for name in ("add8_1HG", "add16_1A5", "mul8_1JJQ", "mul32_precise"):
+            report = characterize(catalog.instance(name), samples=2000)
+            assert report.mred_percent == 0.0
+
+    @pytest.mark.parametrize("width", [8, 16])
+    def test_adder_measured_mred_monotone_per_width(self, catalog, width):
+        entries = [entry for entry in catalog.adders if entry.width == width]
+        measured = [
+            characterize(catalog.instance(entry.name), samples=4000).mred_percent
+            for entry in entries
+        ]
+        assert measured == sorted(measured)
+
+    @pytest.mark.parametrize("width", [8, 32])
+    def test_multiplier_measured_mred_monotone_per_width(self, catalog, width):
+        entries = [entry for entry in catalog.multipliers if entry.width == width]
+        measured = [
+            characterize(catalog.instance(entry.name), samples=4000).mred_percent
+            for entry in entries
+        ]
+        assert measured == sorted(measured)
+
+    def test_measured_mred_rank_correlates_with_published(self, catalog):
+        # Across the whole catalog the measured ordering should broadly agree
+        # with the published ordering (Spearman rank correlation).
+        from scipy.stats import spearmanr
+
+        published = []
+        measured = []
+        for entry in list(catalog.adders) + list(catalog.multipliers):
+            published.append(entry.published.mred_percent)
+            measured.append(
+                characterize(catalog.instance(entry.name), samples=3000).mred_percent
+            )
+        correlation, _ = spearmanr(published, measured)
+        assert correlation > 0.8
+
+
+class TestCatalogRestriction:
+    def test_restrict_widths_for_matmul(self, catalog):
+        restricted = catalog.restrict_widths(adder_width=8, multiplier_width=8)
+        assert restricted.num_adders == 6
+        assert restricted.num_multipliers == 6
+        assert all(entry.width == 8 for entry in restricted.adders)
+        assert all(entry.width == 8 for entry in restricted.multipliers)
+
+    def test_restrict_widths_for_fir(self, catalog):
+        restricted = catalog.restrict_widths(adder_width=16, multiplier_width=32)
+        assert {entry.width for entry in restricted.adders} == {16}
+        assert {entry.width for entry in restricted.multipliers} == {32}
+
+    def test_restrict_keeps_original_catalog_unchanged(self, catalog):
+        catalog.restrict_widths(adder_width=8, multiplier_width=8)
+        assert catalog.num_adders == 12
+
+    def test_restrict_unknown_width_raises(self, catalog):
+        with pytest.raises(ConfigurationError):
+            catalog.restrict_widths(adder_width=12)
+
+    def test_none_keeps_all(self, catalog):
+        restricted = catalog.restrict_widths()
+        assert restricted.num_adders == catalog.num_adders
+        assert restricted.num_multipliers == catalog.num_multipliers
+
+
+class TestCatalogValidation:
+    def test_requires_adders_and_multipliers(self):
+        with pytest.raises(ConfigurationError):
+            OperatorCatalog(adders=[], multipliers=paper_multipliers())
+        with pytest.raises(ConfigurationError):
+            OperatorCatalog(adders=paper_adders(), multipliers=[])
+
+    def test_rejects_misclassified_entries(self):
+        with pytest.raises(ConfigurationError):
+            OperatorCatalog(adders=paper_multipliers(), multipliers=paper_adders())
+
+    def test_rejects_duplicate_names(self):
+        adders = paper_adders()
+        with pytest.raises(ConfigurationError):
+            OperatorCatalog(adders=adders + [adders[0]], multipliers=paper_multipliers())
+
+    def test_default_catalog_builds_fresh_instances(self):
+        first = default_catalog()
+        second = default_catalog()
+        assert first is not second
+        assert first.names() == second.names()
+
+    def test_entry_kinds(self, catalog):
+        assert all(entry.kind is OperatorKind.ADDER for entry in catalog.adders)
+        assert all(entry.kind is OperatorKind.MULTIPLIER for entry in catalog.multipliers)

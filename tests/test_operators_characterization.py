@@ -1,0 +1,146 @@
+"""Tests for error-metric characterisation, the cost model and calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.operators import (
+    CostModel,
+    ExactAdder,
+    ExactMultiplier,
+    OperationCost,
+    RunCost,
+    TruncatedAdder,
+    calibrate_adder,
+    calibrate_multiplier,
+    characterize,
+    error_distance,
+    mean_absolute_error,
+    mean_relative_error_distance,
+)
+from repro.operators.characterization import error_rate, worst_case_error
+
+
+class TestErrorMetrics:
+    def test_error_distance(self):
+        exact = np.array([10, 20, 30])
+        approx = np.array([8, 20, 33])
+        np.testing.assert_array_equal(error_distance(exact, approx), [2, 0, 3])
+
+    def test_mean_absolute_error(self):
+        assert mean_absolute_error(np.array([10, 20]), np.array([8, 24])) == pytest.approx(3.0)
+
+    def test_mred_clamps_zero_denominator(self):
+        exact = np.array([0, 10])
+        approx = np.array([2, 5])
+        # |0-2|/max(0,1)=2 and |10-5|/10=0.5 -> mean 1.25
+        assert mean_relative_error_distance(exact, approx) == pytest.approx(1.25)
+
+    def test_worst_case_error(self):
+        assert worst_case_error(np.array([1, 2, 3]), np.array([1, 0, 3])) == 2.0
+
+    def test_error_rate(self):
+        assert error_rate(np.array([1, 2, 3, 4]), np.array([1, 0, 3, 0])) == pytest.approx(0.5)
+
+
+class TestCharacterize:
+    def test_exhaustive_for_small_domains(self):
+        report = characterize(ExactAdder(4))
+        assert report.exhaustive
+        assert report.samples == (1 << 3) ** 2  # operand_bits = width - 1
+
+    def test_sampled_for_large_domains(self):
+        report = characterize(ExactMultiplier(32), samples=1000)
+        assert not report.exhaustive
+        assert report.samples == 1000
+
+    def test_reproducible_without_rng(self):
+        first = characterize(TruncatedAdder(16, cut=6), samples=2000)
+        second = characterize(TruncatedAdder(16, cut=6), samples=2000)
+        assert first.mred_percent == second.mred_percent
+
+    def test_invalid_samples_raises(self):
+        with pytest.raises(ConfigurationError):
+            characterize(ExactAdder(8), samples=0)
+
+    def test_invalid_operand_bits_raises(self):
+        with pytest.raises(ConfigurationError):
+            characterize(ExactAdder(8), operand_bits=0)
+        with pytest.raises(ConfigurationError):
+            characterize(ExactAdder(8), operand_bits=31)
+
+    def test_report_fields_consistent(self):
+        report = characterize(TruncatedAdder(8, cut=4), samples=4000)
+        assert report.mred_percent > 0
+        assert report.mae > 0
+        assert report.wce >= report.mae
+        assert 0 < report.error_rate <= 1
+
+
+class TestCostModel:
+    def test_operation_cost_scaling(self):
+        cost = OperationCost(power_mw=0.5, delay_ns=2.0)
+        total = cost.scaled(10)
+        assert total.power_mw == pytest.approx(5.0)
+        assert total.time_ns == pytest.approx(20.0)
+        assert total.operation_count == 10
+
+    def test_negative_cost_raises(self):
+        with pytest.raises(ConfigurationError):
+            OperationCost(power_mw=-1.0, delay_ns=0.0)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            OperationCost(power_mw=1.0, delay_ns=1.0).scaled(-1)
+
+    def test_run_cost_addition_and_subtraction(self):
+        first = RunCost(power_mw=2.0, time_ns=3.0, operation_count=1)
+        second = RunCost(power_mw=1.0, time_ns=1.0, operation_count=1)
+        assert (first + second).power_mw == pytest.approx(3.0)
+        assert (first - second).time_ns == pytest.approx(2.0)
+        assert (first + second).operation_count == 2
+
+    def test_run_cost_of_counts(self):
+        model = CostModel({
+            "unit_a": OperationCost(power_mw=1.0, delay_ns=2.0),
+            "unit_b": OperationCost(power_mw=0.5, delay_ns=1.0),
+        })
+        total = model.run_cost({"unit_a": 4, "unit_b": 2})
+        assert total.power_mw == pytest.approx(5.0)
+        assert total.time_ns == pytest.approx(10.0)
+        assert total.operation_count == 6
+
+    def test_unknown_unit_raises(self):
+        model = CostModel({"unit_a": OperationCost(1.0, 1.0)})
+        with pytest.raises(ConfigurationError):
+            model.run_cost({"unit_b": 1})
+
+    def test_register_new_unit(self):
+        model = CostModel({"unit_a": OperationCost(1.0, 1.0)})
+        model.register("unit_b", OperationCost(2.0, 2.0))
+        assert "unit_b" in model.unit_names
+
+    def test_empty_model_raises(self):
+        with pytest.raises(ConfigurationError):
+            CostModel({})
+
+
+class TestCalibration:
+    def test_calibrate_adder_hits_small_target(self):
+        result = calibrate_adder(8, target_mred_percent=0.0, samples=2000)
+        assert result.measured_mred_percent < 1.0
+
+    def test_calibrate_adder_hits_large_target(self):
+        result = calibrate_adder(8, target_mred_percent=15.0, samples=2000)
+        assert abs(result.measured_mred_percent - 15.0) < 10.0
+
+    def test_calibrate_multiplier_orders_targets(self):
+        small = calibrate_multiplier(8, target_mred_percent=1.0, samples=2000)
+        large = calibrate_multiplier(8, target_mred_percent=40.0, samples=2000)
+        assert small.measured_mred_percent < large.measured_mred_percent
+
+    def test_negative_target_raises(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_adder(8, target_mred_percent=-1.0)

@@ -1,0 +1,173 @@
+"""Tests for exact and approximate multiplier behavioural models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.operators import (
+    BrokenArrayMultiplier,
+    DrumMultiplier,
+    ExactMultiplier,
+    LogMultiplier,
+    OperandTruncationMultiplier,
+    characterize,
+)
+
+
+class TestExactMultiplier:
+    def test_scalar_product(self):
+        multiplier = ExactMultiplier(8)
+        assert int(multiplier.apply(7, 9)) == 63
+
+    def test_vectorised_product(self):
+        multiplier = ExactMultiplier(8)
+        a = np.arange(1, 20)
+        b = np.arange(21, 40)
+        np.testing.assert_array_equal(multiplier.apply(a, b), a * b)
+
+    def test_signed_products(self):
+        multiplier = ExactMultiplier(8)
+        assert int(multiplier.apply(-5, 6)) == -30
+        assert int(multiplier.apply(-5, -6)) == 30
+
+    def test_wide_operands_are_exact(self):
+        multiplier = ExactMultiplier(32)
+        assert int(multiplier.apply(1_000_003, 999_999)) == 1_000_003 * 999_999
+
+    def test_mred_is_zero(self):
+        report = characterize(ExactMultiplier(8))
+        assert report.mred_percent == 0.0
+
+
+class TestOperandTruncationMultiplier:
+    def test_zero_cut_is_exact(self):
+        multiplier = OperandTruncationMultiplier(8, cut=0)
+        a = np.arange(1, 50)
+        b = np.arange(50, 99)
+        np.testing.assert_array_equal(multiplier.apply(a, b), a * b)
+
+    def test_never_overestimates(self):
+        multiplier = OperandTruncationMultiplier(8, cut=3)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, 500)
+        b = rng.integers(0, 256, 500)
+        assert np.all(multiplier.apply(a, b) <= a * b)
+
+    def test_mred_increases_with_cut(self):
+        mreds = [
+            characterize(OperandTruncationMultiplier(8, cut=cut), samples=4000).mred_percent
+            for cut in (1, 3, 5)
+        ]
+        assert mreds[0] < mreds[1] < mreds[2]
+
+    def test_invalid_cut_raises(self):
+        with pytest.raises(ConfigurationError):
+            OperandTruncationMultiplier(8, cut=8)
+
+
+class TestBrokenArrayMultiplier:
+    def test_zero_omitted_is_exact(self):
+        multiplier = BrokenArrayMultiplier(8, omitted=0)
+        a = np.arange(0, 60)
+        b = np.arange(60, 120)
+        np.testing.assert_array_equal(multiplier.apply(a, b), a * b)
+
+    def test_never_overestimates(self):
+        multiplier = BrokenArrayMultiplier(8, omitted=6)
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, 300)
+        b = rng.integers(0, 256, 300)
+        assert np.all(multiplier.apply(a, b) <= a * b)
+
+    def test_error_bounded_by_omitted_mass(self):
+        omitted = 5
+        multiplier = BrokenArrayMultiplier(8, omitted=omitted)
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 256, 300)
+        b = rng.integers(0, 256, 300)
+        errors = a * b - multiplier.apply(a, b)
+        assert np.all(errors <= 8 * (1 << omitted))
+
+    def test_mred_increases_with_omitted(self):
+        small = characterize(BrokenArrayMultiplier(8, omitted=3), samples=4000).mred_percent
+        large = characterize(BrokenArrayMultiplier(8, omitted=8), samples=4000).mred_percent
+        assert small < large
+
+    def test_invalid_omitted_raises(self):
+        with pytest.raises(ConfigurationError):
+            BrokenArrayMultiplier(8, omitted=16)
+
+
+class TestLogMultiplier:
+    def test_powers_of_two_are_exact(self):
+        multiplier = LogMultiplier(8)
+        for a in (1, 2, 4, 8, 16, 32):
+            for b in (1, 2, 4, 64, 128):
+                assert int(multiplier.apply(a, b)) == a * b
+
+    def test_never_overestimates(self):
+        multiplier = LogMultiplier(8)
+        rng = np.random.default_rng(3)
+        a = rng.integers(1, 256, 500)
+        b = rng.integers(1, 256, 500)
+        assert np.all(multiplier.apply(a, b) <= a * b)
+
+    def test_zero_operand_gives_zero(self):
+        multiplier = LogMultiplier(8)
+        assert int(multiplier.apply(0, 200)) == 0
+        assert int(multiplier.apply(37, 0)) == 0
+
+    def test_mitchell_error_bound(self):
+        # Mitchell's approximation under-estimates by at most ~11.1 %.
+        multiplier = LogMultiplier(8)
+        rng = np.random.default_rng(4)
+        a = rng.integers(1, 256, 2000)
+        b = rng.integers(1, 256, 2000)
+        exact = a * b
+        relative = (exact - multiplier.apply(a, b)) / exact
+        assert float(relative.max()) <= 0.12
+
+    def test_mred_in_expected_range(self):
+        report = characterize(LogMultiplier(8), samples=8000)
+        assert 2.0 < report.mred_percent < 6.0
+
+
+class TestDrumMultiplier:
+    def test_exact_for_small_operands(self):
+        multiplier = DrumMultiplier(8, k=4)
+        a = np.arange(0, 16)
+        b = np.arange(0, 16)
+        np.testing.assert_array_equal(multiplier.apply(a, b), a * b)
+
+    def test_relative_error_independent_of_magnitude(self):
+        multiplier = DrumMultiplier(16, k=4)
+        rng = np.random.default_rng(5)
+        small_a = rng.integers(64, 256, 2000)
+        small_b = rng.integers(64, 256, 2000)
+        large_a = small_a * 128
+        large_b = small_b * 128
+        small_rel = np.abs(small_a * small_b - multiplier.apply(small_a, small_b)) / (small_a * small_b)
+        large_rel = np.abs(large_a * large_b - multiplier.apply(large_a, large_b)) / (large_a * large_b)
+        assert abs(float(small_rel.mean()) - float(large_rel.mean())) < 0.02
+
+    def test_mred_decreases_with_k(self):
+        coarse = characterize(DrumMultiplier(8, k=2), samples=4000).mred_percent
+        fine = characterize(DrumMultiplier(8, k=6), samples=4000).mred_percent
+        assert fine < coarse
+
+    def test_zero_operand_gives_zero(self):
+        multiplier = DrumMultiplier(8, k=3)
+        assert int(multiplier.apply(0, 255)) == 0
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ConfigurationError):
+            DrumMultiplier(8, k=1)
+        with pytest.raises(ConfigurationError):
+            DrumMultiplier(8, k=9)
+
+    def test_signed_products_keep_sign(self):
+        multiplier = DrumMultiplier(8, k=3)
+        assert int(multiplier.apply(-100, 50)) < 0
+        assert int(multiplier.apply(-100, -50)) > 0

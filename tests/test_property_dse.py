@@ -1,0 +1,126 @@
+"""Property-based tests for design-space, reward and space invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import Algorithm1Reward, DesignPoint, ExplorationThresholds
+from repro.dse.design_space import DesignSpace
+from repro.gymlite import spaces
+from repro.metrics import ObjectiveDeltas
+from repro.operators import default_catalog
+
+_CATALOG = default_catalog().restrict_widths(8, 8)
+
+
+def _space():
+    from repro.benchmarks import MatMulBenchmark
+
+    return DesignSpace(MatMulBenchmark(rows=2, inner=2, cols=2), _CATALOG)
+
+
+design_points = st.builds(
+    DesignPoint,
+    adder_index=st.integers(min_value=1, max_value=6),
+    multiplier_index=st.integers(min_value=1, max_value=6),
+    variables=st.tuples(st.booleans(), st.booleans(), st.booleans()),
+)
+
+deltas = st.builds(
+    ObjectiveDeltas,
+    accuracy=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    power_mw=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    time_ns=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+thresholds_strategy = st.builds(
+    ExplorationThresholds,
+    accuracy=st.floats(min_value=0, max_value=1e5, allow_nan=False),
+    power_mw=st.floats(min_value=0, max_value=1e5, allow_nan=False),
+    time_ns=st.floats(min_value=0, max_value=1e5, allow_nan=False),
+)
+
+
+class TestDesignPointProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(point=design_points)
+    def test_toggle_is_an_involution(self, point):
+        for position in range(len(point.variables)):
+            assert point.with_variable_toggled(position).with_variable_toggled(position) == point
+
+    @settings(max_examples=100, deadline=None)
+    @given(point=design_points)
+    def test_key_identity(self, point):
+        clone = DesignPoint(point.adder_index, point.multiplier_index, point.variables)
+        assert point == clone
+        assert point.key() == clone.key()
+        assert hash(point) == hash(clone)
+
+    @settings(max_examples=100, deadline=None)
+    @given(point=design_points)
+    def test_points_from_strategy_are_inside_the_space(self, point):
+        assert _space().contains(point)
+
+    @settings(max_examples=100, deadline=None)
+    @given(point=design_points)
+    def test_neighbors_differ_in_exactly_one_knob(self, point):
+        space = _space()
+        for neighbor in space.neighbors(point):
+            changes = (
+                int(neighbor.adder_index != point.adder_index)
+                + int(neighbor.multiplier_index != point.multiplier_index)
+                + sum(a != b for a, b in zip(neighbor.variables, point.variables))
+            )
+            assert changes == 1
+            assert space.contains(neighbor)
+
+
+class TestRewardProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(point=design_points, observation=deltas, limits=thresholds_strategy)
+    def test_algorithm1_reward_is_one_of_four_values(self, point, observation, limits):
+        reward = Algorithm1Reward(max_reward=100.0)
+        outcome = reward(point, observation, limits, _space())
+        assert outcome.reward in (-100.0, -1.0, 1.0, 100.0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(point=design_points, observation=deltas, limits=thresholds_strategy)
+    def test_violation_flag_matches_accuracy_threshold(self, point, observation, limits):
+        outcome = Algorithm1Reward()(point, observation, limits, _space())
+        assert outcome.constraint_violated == (observation.accuracy > limits.accuracy)
+
+    @settings(max_examples=200, deadline=None)
+    @given(point=design_points, observation=deltas, limits=thresholds_strategy)
+    def test_termination_only_at_the_most_aggressive_feasible_point(self, point, observation,
+                                                                    limits):
+        space = _space()
+        outcome = Algorithm1Reward()(point, observation, limits, space)
+        if outcome.terminate:
+            assert observation.accuracy <= limits.accuracy
+            assert point.adder_index == space.num_adders
+            assert point.multiplier_index == space.num_multipliers
+            assert point.all_variables_selected
+
+
+class TestSpaceSamplingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_discrete_samples_always_contained(self, seed):
+        space = spaces.Discrete(7, start=1, seed=seed)
+        assert space.contains(space.sample())
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_multibinary_samples_always_contained(self, seed):
+        space = spaces.MultiBinary(5, seed=seed)
+        assert space.contains(space.sample())
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_random_design_points_are_valid(self, seed):
+        space = _space()
+        rng = np.random.default_rng(seed)
+        assert space.contains(space.random_point(rng))

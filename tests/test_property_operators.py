@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the arithmetic operator invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators import (
+    CarryCutAdder,
+    DrumMultiplier,
+    ExactAdder,
+    ExactMultiplier,
+    LogMultiplier,
+    LowerOrAdder,
+    OperandTruncationMultiplier,
+    TruncatedAdder,
+)
+
+# Operand magnitudes stay well inside int64 even after the dynamic-range
+# scaling of the 32-bit units.
+operands = st.integers(min_value=-(2 ** 24), max_value=2 ** 24)
+small_operands = st.integers(min_value=-127, max_value=127)
+
+
+def _adders():
+    return [
+        ExactAdder(8),
+        TruncatedAdder(8, cut=3),
+        LowerOrAdder(8, cut=4),
+        CarryCutAdder(8, segment=4),
+        TruncatedAdder(16, cut=7),
+        LowerOrAdder(16, cut=5),
+    ]
+
+
+def _multipliers():
+    return [
+        ExactMultiplier(8),
+        OperandTruncationMultiplier(8, cut=3),
+        LogMultiplier(8),
+        DrumMultiplier(8, k=3),
+        DrumMultiplier(32, k=8),
+        OperandTruncationMultiplier(32, cut=20),
+    ]
+
+
+class TestAdderProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(a=operands, b=operands)
+    def test_exact_adder_is_exact_everywhere(self, a, b):
+        assert int(ExactAdder(8).apply(a, b)) == a + b
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=operands, b=operands)
+    def test_error_is_bounded(self, a, b):
+        # For operands inside the native range the error is bounded by the
+        # unit's width (low-bit corruption); for wider operands the
+        # dynamic-range scaling keeps it a bounded fraction of the operands.
+        scale = max(abs(a), abs(b), 1)
+        for adder in (ExactAdder(8), TruncatedAdder(8, cut=3), LowerOrAdder(8, cut=4),
+                      TruncatedAdder(16, cut=7), LowerOrAdder(16, cut=5)):
+            error = abs(int(adder.apply(a, b)) - (a + b))
+            bound = max(scale, 1 << adder.width)
+            assert error <= bound, f"{adder!r} error {error} exceeds bound {bound}"
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=operands, b=operands)
+    def test_carry_cut_error_is_bounded(self, a, b):
+        # Dropped inter-segment carries on two's-complement operands can cost
+        # a few times the operand scale, but stay within a small multiple of
+        # the representable range at the scaled level.
+        adder = CarryCutAdder(8, segment=4)
+        scale = max(abs(a), abs(b), 1)
+        error = abs(int(adder.apply(a, b)) - (a + b))
+        bound = max(8 * scale, 1 << (adder.width + 2))
+        assert error <= bound, f"error {error} exceeds bound {bound}"
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=operands, b=operands)
+    def test_commutativity_of_truncation_like_adders(self, a, b):
+        # Families whose bit-level rule is symmetric must commute.
+        for adder in (ExactAdder(8), TruncatedAdder(8, cut=3), LowerOrAdder(8, cut=4),
+                      CarryCutAdder(8, segment=4)):
+            assert int(adder.apply(a, b)) == int(adder.apply(b, a))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=operands)
+    def test_adding_zero_on_small_operands(self, a):
+        # With one operand zero the only possible error comes from the cut
+        # low bits of the other operand (scaled up when the operand exceeds
+        # the native range and dynamic-range scaling kicks in).
+        adder = TruncatedAdder(16, cut=4)
+        error = abs(int(adder.apply(a, 0)) - a)
+        assert error <= 4 * (1 << 4) * max(1, abs(a) >> 14)
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(small_operands, min_size=2, max_size=20))
+    def test_vectorised_equals_scalar_application(self, values):
+        adder = LowerOrAdder(8, cut=3)
+        a = np.array(values, dtype=np.int64)
+        b = np.array(list(reversed(values)), dtype=np.int64)
+        vectorised = adder.apply(a, b)
+        scalars = np.array([int(adder.apply(int(x), int(y))) for x, y in zip(a, b)])
+        np.testing.assert_array_equal(vectorised, scalars)
+
+
+class TestMultiplierProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(a=operands, b=operands)
+    def test_exact_multiplier_is_exact_everywhere(self, a, b):
+        assert int(ExactMultiplier(32).apply(a, b)) == a * b
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=operands, b=operands)
+    def test_sign_of_product_is_preserved(self, a, b):
+        expected_sign = np.sign(a) * np.sign(b)
+        for multiplier in _multipliers():
+            result = int(multiplier.apply(a, b))
+            assert result == 0 or np.sign(result) == expected_sign or expected_sign == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=operands, b=operands)
+    def test_multiplying_by_zero_gives_zero(self, a, b):
+        for multiplier in _multipliers():
+            assert int(multiplier.apply(a, 0)) == 0
+            assert int(multiplier.apply(0, b)) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=st.integers(min_value=1, max_value=2 ** 20), b=st.integers(min_value=1, max_value=2 ** 20))
+    def test_relative_error_is_bounded(self, a, b):
+        exact = a * b
+        for multiplier in _multipliers():
+            error = abs(int(multiplier.apply(a, b)) - exact)
+            assert error <= exact, f"{multiplier!r} error {error} exceeds product {exact}"
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=small_operands, b=small_operands)
+    def test_commutativity(self, a, b):
+        for multiplier in (ExactMultiplier(8), OperandTruncationMultiplier(8, cut=3),
+                           LogMultiplier(8), DrumMultiplier(8, k=3)):
+            assert int(multiplier.apply(a, b)) == int(multiplier.apply(b, a))
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(small_operands, min_size=2, max_size=20))
+    def test_vectorised_equals_scalar_application(self, values):
+        multiplier = DrumMultiplier(8, k=3)
+        a = np.array(values, dtype=np.int64)
+        b = np.array(list(reversed(values)), dtype=np.int64)
+        vectorised = multiplier.apply(a, b)
+        scalars = np.array([int(multiplier.apply(int(x), int(y))) for x, y in zip(a, b)])
+        np.testing.assert_array_equal(vectorised, scalars)
