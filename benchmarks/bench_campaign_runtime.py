@@ -1,0 +1,115 @@
+"""Campaign runtime — serial vs parallel wall-clock and store hit-rate.
+
+Runs the paper's 4-benchmark suite over 3 seeds through the campaign
+runtime three times:
+
+1. **cold serial** — ``SerialExecutor`` with a fresh evaluation store (the
+   legacy ``Campaign.run`` behaviour and the timing baseline);
+2. **cold parallel** — ``ProcessExecutor(n_jobs>=2)`` with a fresh store,
+   to measure pure fan-out (only wins wall-clock on multi-core machines);
+3. **warm parallel** — ``ProcessExecutor`` re-running the same campaign
+   against the store populated by the serial run, to measure cross-run
+   reuse (wins everywhere: a store hit replaces a full kernel execution).
+
+The three runs must be entry-for-entry identical — the runtime changes
+wall-clock, never results — and the warm run must be at least 1.5x faster
+than the cold serial baseline with a nonzero cross-run hit-rate.  All
+timings and rates land in ``benchmark.extra_info`` for the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import paper_benchmark_suite
+from repro.dse import Campaign
+from repro.runtime import AgentSpec, EvaluationStore, ProcessExecutor, SerialExecutor
+
+
+def _run_campaign(executor, store, paper_scale, max_steps):
+    campaign = Campaign(
+        benchmarks=paper_benchmark_suite(paper_scale),
+        agent_factory=AgentSpec("q-learning"),
+        max_steps=max_steps,
+        seeds=(0, 1, 2),
+        executor=executor,
+        store=store,
+    )
+    started = time.perf_counter()
+    entries = campaign.run()
+    return entries, time.perf_counter() - started
+
+
+def _assert_identical(reference, candidate):
+    assert len(reference) == len(candidate)
+    for left, right in zip(reference, candidate):
+        assert (left.benchmark_label, left.seed) == (right.benchmark_label, right.seed)
+        assert [r.deltas for r in left.result.records] == \
+            [r.deltas for r in right.result.records]
+        assert left.result.solution.point == right.result.solution.point
+
+
+def test_campaign_runtime_speedup(benchmark, paper_scale, exploration_budget):
+    max_steps = exploration_budget if paper_scale else 600
+    n_jobs = max(2, min(4, os.cpu_count() or 1))
+
+    def run_all():
+        serial_store = EvaluationStore()
+        serial_entries, serial_s = _run_campaign(
+            SerialExecutor(), serial_store, paper_scale, max_steps
+        )
+
+        cold_entries, cold_parallel_s = _run_campaign(
+            ProcessExecutor(n_jobs=n_jobs), EvaluationStore(), paper_scale, max_steps
+        )
+
+        warm_store = EvaluationStore(records=serial_store.snapshot())
+        warm_entries, warm_parallel_s = _run_campaign(
+            ProcessExecutor(n_jobs=n_jobs), warm_store, paper_scale, max_steps
+        )
+
+        return {
+            "serial": (serial_entries, serial_s),
+            "cold_parallel": (cold_entries, cold_parallel_s),
+            "warm_parallel": (warm_entries, warm_parallel_s),
+            "warm_stats": warm_store.stats,
+            "store_size": len(serial_store),
+        }
+
+    measured = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    serial_entries, serial_s = measured["serial"]
+    cold_entries, cold_parallel_s = measured["cold_parallel"]
+    warm_entries, warm_parallel_s = measured["warm_parallel"]
+    warm_stats = measured["warm_stats"]
+
+    cold_speedup = serial_s / cold_parallel_s
+    warm_speedup = serial_s / warm_parallel_s
+    benchmark.extra_info["n_jobs"] = n_jobs
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["max_steps"] = max_steps
+    benchmark.extra_info["explorations"] = len(serial_entries)
+    benchmark.extra_info["store_size"] = measured["store_size"]
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["cold_parallel_s"] = round(cold_parallel_s, 3)
+    benchmark.extra_info["warm_parallel_s"] = round(warm_parallel_s, 3)
+    benchmark.extra_info["cold_parallel_speedup"] = round(cold_speedup, 2)
+    benchmark.extra_info["warm_parallel_speedup"] = round(warm_speedup, 2)
+    benchmark.extra_info["warm_hit_rate"] = round(warm_stats.hit_rate, 3)
+
+    print(f"\nCampaign runtime ({len(serial_entries)} explorations x {max_steps} steps, "
+          f"n_jobs={n_jobs}, cpus={os.cpu_count()})")
+    print(f"  cold serial    {serial_s:8.2f} s   (baseline)")
+    print(f"  cold parallel  {cold_parallel_s:8.2f} s   ({cold_speedup:.2f}x)")
+    print(f"  warm parallel  {warm_parallel_s:8.2f} s   ({warm_speedup:.2f}x, "
+          f"hit rate {100 * warm_stats.hit_rate:.0f} %)")
+
+    # Parallelism and reuse change wall-clock, never results.
+    _assert_identical(serial_entries, cold_entries)
+    _assert_identical(serial_entries, warm_entries)
+
+    # Cross-run reuse actually happened and pays for itself: the warm re-run
+    # of the same sweep must be at least 1.5x faster than the cold baseline.
+    assert warm_stats.hits > 0
+    assert warm_stats.hit_rate > 0.0
+    assert warm_speedup >= 1.5

@@ -1,57 +1,70 @@
-"""Multi-seed exploration campaign with CSV/JSON export.
+"""Multi-seed exploration campaign with parallel execution and CSV/JSON export.
 
 Run with::
 
-    python examples/campaign_sweep.py [--seeds 3] [--steps 1500] [--out results/]
+    python examples/campaign_sweep.py [--seeds 3] [--steps 1500] [--jobs 4] \
+        [--store evaluations.sqlite] [--out results/]
 
 A single exploration is noisy (one -R constraint violation changes a whole
 reward window), so a practical evaluation repeats the exploration over
 several seeds.  This example runs the paper's two benchmark families over a
-seed sweep with :class:`repro.dse.Campaign`, prints the per-benchmark
-aggregate statistics, and exports every trace to CSV plus a JSON summary —
-ready to be plotted into Figures 2-4 with any external tool.
+seed sweep with :class:`repro.dse.Campaign` on top of the campaign runtime:
+``--jobs N`` fans the explorations out over N worker processes with
+:class:`repro.runtime.ProcessExecutor`, and ``--store PATH`` persists the
+shared evaluation store so a re-run (or a different agent) starts warm
+instead of re-measuring design points.  Serial and parallel execution
+produce identical results — only the wall-clock changes.
+
+The per-benchmark aggregates are printed, and every trace is exported to
+CSV plus a JSON summary — ready to be plotted into Figures 2-4 with any
+external tool.
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 from pathlib import Path
 
-from repro.agents import QLearningAgent
-from repro.agents.schedules import LinearDecayEpsilon
 from repro.analysis import write_result_json, write_trace_csv
 from repro.benchmarks import FirBenchmark, MatMulBenchmark
 from repro.dse import Campaign
+from repro.runtime import AgentSpec, EvaluationStore, ProcessExecutor, SerialExecutor
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seeds", type=int, default=3, help="number of seeds per benchmark")
     parser.add_argument("--steps", type=int, default=1500, help="exploration steps per run")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial execution)")
+    parser.add_argument("--store", type=Path, default=None,
+                        help="sqlite file persisting the evaluation store across runs")
     parser.add_argument("--out", type=Path, default=Path("campaign_results"),
                         help="directory for the exported CSV/JSON files")
     args = parser.parse_args()
 
-    def agent_factory(environment, seed):
-        return QLearningAgent(
-            num_actions=environment.action_space.n,
-            epsilon=LinearDecayEpsilon(start=1.0, end=0.05, decay_steps=max(args.steps // 4, 1)),
-            seed=seed,
-        )
+    executor = SerialExecutor() if args.jobs <= 1 else ProcessExecutor(n_jobs=args.jobs)
+    store = EvaluationStore(path=args.store)
 
     campaign = Campaign(
         benchmarks={
             "matmul_10x10": MatMulBenchmark(rows=10, inner=10, cols=10),
             "fir_100": FirBenchmark(num_samples=100),
         },
-        agent_factory=agent_factory,
+        agent_factory=AgentSpec("q-learning"),
         max_steps=args.steps,
         seeds=tuple(range(args.seeds)),
+        executor=executor,
+        store=store,
     )
 
     print(f"Running {len(campaign.benchmark_labels)} benchmarks x {args.seeds} seeds "
-          f"x {args.steps} steps ...")
+          f"x {args.steps} steps on {max(args.jobs, 1)} process(es)"
+          + (f", store warm with {len(store)} evaluations" if len(store) else "") + " ...")
+    started = time.perf_counter()
     entries = campaign.run()
+    elapsed = time.perf_counter() - started
 
     print("\nPer-benchmark aggregates over seeds")
     for label, summary in Campaign.summarize(entries).items():
@@ -64,12 +77,17 @@ def main() -> None:
               f"feasible={100 * summary.mean_feasible_fraction:.0f} %  "
               f"best feasible Δpower={best}")
 
+    stats = store.stats
+    print(f"\nWall-clock: {elapsed:.1f} s — evaluation store: {len(store)} design points, "
+          f"{stats.hits} hits / {stats.lookups} lookups")
+    store.flush()
+
     args.out.mkdir(parents=True, exist_ok=True)
     for entry in entries:
         stem = f"{entry.benchmark_label}_seed{entry.seed}"
         write_trace_csv(entry.result, args.out / f"{stem}_trace.csv")
         write_result_json(entry.result, args.out / f"{stem}_summary.json")
-    print(f"\nExported {2 * len(entries)} files to {args.out}/")
+    print(f"Exported {2 * len(entries)} files to {args.out}/")
 
 
 if __name__ == "__main__":

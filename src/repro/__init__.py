@@ -17,6 +17,9 @@ from scratch:
   Algorithm-1 reward, environment and exploration driver;
 * :mod:`repro.agents` — tabular Q-learning (the paper's agent), SARSA,
   random search, and metaheuristic baselines;
+* :mod:`repro.runtime` — the campaign runtime: picklable exploration jobs,
+  serial / multi-process executors, and the shared evaluation store that
+  lets sweeps reuse design-point measurements across seeds and agents;
 * :mod:`repro.analysis` — trend lines, reward curves and table rendering
   used to regenerate the paper's figures and tables.
 
@@ -36,6 +39,9 @@ from repro.benchmarks import Benchmark, FirBenchmark, MatMulBenchmark
 from repro.dse import (
     Algorithm1Reward,
     AxcDseEnv,
+    Campaign,
+    CampaignEntry,
+    CampaignSummary,
     DesignPoint,
     DesignSpace,
     ExplorationResult,
@@ -45,8 +51,18 @@ from repro.dse import (
     explore,
 )
 from repro.operators import OperatorCatalog, default_catalog
+from repro.runtime import (
+    AgentSpec,
+    EvaluationStore,
+    ExplorationJob,
+    JobOutcome,
+    ProcessExecutor,
+    SerialExecutor,
+    execute_job,
+    expand_jobs,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -67,4 +83,15 @@ __all__ = [
     "FirBenchmark",
     "OperatorCatalog",
     "default_catalog",
+    "Campaign",
+    "CampaignEntry",
+    "CampaignSummary",
+    "AgentSpec",
+    "ExplorationJob",
+    "expand_jobs",
+    "execute_job",
+    "JobOutcome",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "EvaluationStore",
 ]

@@ -6,6 +6,9 @@
 * ``explore`` — run one RL exploration on a benchmark and print its
   Table-III style summary;
 * ``compare`` — run the RL agent and the baselines on the same benchmark;
+* ``campaign`` — sweep benchmarks x seeds x agents through the campaign
+  runtime, optionally in parallel (``--jobs``) and with a persistent
+  evaluation store (``--store``);
 * ``list-benchmarks`` — show the registered benchmarks.
 """
 
@@ -13,17 +16,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.agents import (
     GeneticExplorer,
     HillClimbingExplorer,
-    QLearningAgent,
-    RandomAgent,
-    SarsaAgent,
     SimulatedAnnealingExplorer,
 )
-from repro.agents.schedules import LinearDecayEpsilon
 from repro.analysis import (
     render_comparison,
     render_operator_table,
@@ -32,8 +31,16 @@ from repro.analysis import (
     trace_trends,
 )
 from repro.benchmarks import available, create
-from repro.dse import AxcDseEnv, Explorer
+from repro.dse import AxcDseEnv, Campaign, CampaignEntry, Explorer
 from repro.operators import default_catalog
+from repro.runtime import (
+    AGENT_NAMES,
+    AgentSpec,
+    EvaluationStore,
+    ProcessExecutor,
+    SerialExecutor,
+    expand_jobs,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -74,17 +81,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="RL steps / baseline evaluation budget")
     compare.add_argument("--seed", type=int, default=0)
 
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="sweep benchmarks x seeds x agents through the campaign runtime",
+    )
+    campaign.add_argument("--benchmarks", nargs="+", default=["matmul"],
+                          choices=sorted(available()), help="benchmarks to sweep")
+    campaign.add_argument("--seeds", nargs="+", type=int, default=[0],
+                          help="explicit workload/exploration seeds")
+    campaign.add_argument("--agents", nargs="+", default=["q-learning"],
+                          choices=list(AGENT_NAMES), help="agent families to run")
+    campaign.add_argument("--steps", type=int, default=1000,
+                          help="exploration steps per run")
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (1 = serial execution)")
+    campaign.add_argument("--store", default=None, metavar="PATH",
+                          help="sqlite file persisting the evaluation store across runs")
+
     subparsers.add_parser("list-benchmarks", help="list the registered benchmarks")
     return parser
 
 
-def _build_agent(name: str, num_actions: int, steps: int, seed: int):
-    epsilon = LinearDecayEpsilon(start=1.0, end=0.05, decay_steps=max(steps // 2, 1))
-    if name == "q-learning":
-        return QLearningAgent(num_actions=num_actions, epsilon=epsilon, seed=seed)
-    if name == "sarsa":
-        return SarsaAgent(num_actions=num_actions, epsilon=epsilon, seed=seed)
-    return RandomAgent(num_actions=num_actions, seed=seed)
+def _build_agent(name: str, environment: AxcDseEnv, steps: int, seed: int):
+    return AgentSpec(name).build(environment, seed=seed, max_steps=steps)
 
 
 def _command_characterize(args: argparse.Namespace) -> int:
@@ -102,7 +121,7 @@ def _command_characterize(args: argparse.Namespace) -> int:
 def _command_explore(args: argparse.Namespace) -> int:
     benchmark = create(args.benchmark)
     environment = AxcDseEnv(benchmark, evaluation_seed=args.seed)
-    agent = _build_agent(args.agent, environment.action_space.n, args.steps, args.seed)
+    agent = _build_agent(args.agent, environment, args.steps, args.seed)
     result = Explorer(environment, agent, max_steps=args.steps).run(seed=args.seed)
 
     catalog = environment.evaluator.catalog
@@ -125,8 +144,8 @@ def _command_compare(args: argparse.Namespace) -> int:
     benchmark = create(args.benchmark)
     environment = AxcDseEnv(benchmark, evaluation_seed=args.seed)
     results = []
-    for agent_name in ("q-learning", "sarsa", "random"):
-        agent = _build_agent(agent_name, environment.action_space.n, args.steps, args.seed)
+    for agent_name in AGENT_NAMES:
+        agent = _build_agent(agent_name, environment, args.steps, args.seed)
         results.append(Explorer(environment, agent, max_steps=args.steps).run(seed=args.seed))
 
     evaluator = environment.evaluator
@@ -143,6 +162,54 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_campaign(args: argparse.Namespace) -> int:
+    benchmarks = {name: create(name) for name in dict.fromkeys(args.benchmarks)}
+    agents = [AgentSpec(name) for name in dict.fromkeys(args.agents)]
+    seeds = list(dict.fromkeys(args.seeds))
+    jobs = expand_jobs(benchmarks, agents, seeds=seeds, max_steps=args.steps)
+    executor = SerialExecutor() if args.jobs <= 1 else ProcessExecutor(n_jobs=args.jobs)
+    store = EvaluationStore(path=args.store)
+
+    mode = "serially" if args.jobs <= 1 else f"on {args.jobs} worker processes"
+    print(f"Campaign: {len(benchmarks)} benchmark(s) x {len(agents)} agent(s) x "
+          f"{len(seeds)} seed(s) = {len(jobs)} exploration(s), "
+          f"{args.steps} steps each, running {mode}"
+          + (f" (store warm with {len(store)} evaluations)" if len(store) else ""))
+
+    outcomes = executor.run(jobs, store=store)
+    store.flush()
+
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    for outcome in failures:
+        print(f"\nFAILED {outcome.job.describe()}:\n{outcome.error}")
+
+    by_agent: Dict[str, List[CampaignEntry]] = {}
+    for outcome in outcomes:
+        if outcome.ok:
+            by_agent.setdefault(outcome.job.agent.name, []).append(
+                CampaignEntry(benchmark_label=outcome.job.benchmark_label,
+                              seed=outcome.job.seed, result=outcome.result)
+            )
+    for agent_name, entries in by_agent.items():
+        print(f"\nAgent {agent_name} — per-benchmark aggregates over seeds")
+        for label, summary in Campaign.summarize(entries).items():
+            best = ("-" if summary.best_feasible_power_mw is None
+                    else f"{summary.best_feasible_power_mw:.1f} mW")
+            print(f"  {label:14s} runs={summary.runs}  "
+                  f"mean solution Δpower={summary.mean_solution_power_mw:.1f} mW  "
+                  f"Δtime={summary.mean_solution_time_ns:.1f} ns  "
+                  f"Δacc={summary.mean_solution_accuracy:.1f}  "
+                  f"feasible={100 * summary.mean_feasible_fraction:.0f} %  "
+                  f"best feasible Δpower={best}")
+
+    stats = store.stats
+    print(f"\nEvaluation store: {len(store)} cached design points, "
+          f"{stats.hits} hits / {stats.lookups} lookups "
+          f"({100 * stats.hit_rate:.0f} % hit rate)"
+          + (f", persisted to {store.path}" if store.path else ""))
+    return 1 if failures else 0
+
+
 def _command_list_benchmarks(_: argparse.Namespace) -> int:
     for name in sorted(available()):
         print(name)
@@ -157,6 +224,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "characterize": _command_characterize,
         "explore": _command_explore,
         "compare": _command_compare,
+        "campaign": _command_campaign,
         "list-benchmarks": _command_list_benchmarks,
     }
     return commands[args.command](args)

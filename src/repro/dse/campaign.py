@@ -2,24 +2,36 @@
 
 The paper evaluates four benchmark configurations; a practical user will
 also want to repeat explorations over seeds and compare agents.  A
-:class:`Campaign` owns that loop and returns one
+:class:`Campaign` owns that sweep and returns one
 :class:`~repro.dse.results.ExplorationResult` per (benchmark, seed) pair,
 plus aggregate statistics that smooth out the run-to-run noise of a single
 exploration.
+
+Since the runtime refactor a campaign is a thin wrapper over the
+:mod:`repro.runtime` subsystem: the definition expands into a deterministic
+list of picklable :class:`~repro.runtime.jobs.ExplorationJob`, an
+:class:`~repro.runtime.executor.Executor` runs them (serially by default,
+or fanned out over processes with
+:class:`~repro.runtime.executor.ProcessExecutor`), and every exploration
+shares one :class:`~repro.runtime.store.EvaluationStore` so design points
+measured by one run warm-start its siblings.  Both executors produce
+identical entries for the same definition.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.benchmarks.base import Benchmark
 from repro.dse.environment import AxcDseEnv
-from repro.dse.explorer import Explorer
 from repro.dse.results import ExplorationResult
 from repro.errors import ExplorationError
+from repro.runtime.executor import Executor, JobOutcome, SerialExecutor
+from repro.runtime.jobs import AgentSpec, ExplorationJob, expand_jobs
+from repro.runtime.store import EvaluationStore
 
 __all__ = ["CampaignEntry", "CampaignSummary", "Campaign"]
 
@@ -57,7 +69,10 @@ class Campaign:
     benchmarks:
         Mapping from label to benchmark instance.
     agent_factory:
-        Callable building a fresh agent for every (environment, seed) pair.
+        Either an :class:`~repro.runtime.jobs.AgentSpec` or a callable
+        building a fresh agent for every (environment, seed) pair.  A
+        callable must be picklable (a module-level function) to cross
+        process boundaries with :class:`ProcessExecutor`.
     max_steps:
         Step budget per exploration.
     seeds:
@@ -65,11 +80,26 @@ class Campaign:
     env_kwargs:
         Extra keyword arguments forwarded to :class:`AxcDseEnv` (thresholds,
         action scheme, reward function, ...).
+    executor:
+        Job executor; defaults to :class:`SerialExecutor` (the historical
+        inline behaviour).
+    store:
+        Shared evaluation store; defaults to a fresh in-memory store.  Pass
+        a disk-backed store (``EvaluationStore(path=...)``) to persist
+        evaluations across campaigns.
+    store_outputs:
+        Whether cached evaluation records retain raw benchmark outputs.
+        Off by default — a 2500-point design space retains thousands of
+        arrays otherwise, and campaign summaries only need the deltas.
     """
 
-    def __init__(self, benchmarks: Mapping[str, Benchmark], agent_factory: AgentFactory,
+    def __init__(self, benchmarks: Mapping[str, Benchmark],
+                 agent_factory: Union[AgentFactory, AgentSpec],
                  max_steps: int = 10_000, seeds: Sequence[int] = (0,),
-                 env_kwargs: Optional[Dict[str, object]] = None) -> None:
+                 env_kwargs: Optional[Dict[str, object]] = None,
+                 executor: Optional[Executor] = None,
+                 store: Optional[EvaluationStore] = None,
+                 store_outputs: bool = False) -> None:
         if not benchmarks:
             raise ExplorationError("a campaign requires at least one benchmark")
         if not seeds:
@@ -77,10 +107,16 @@ class Campaign:
         if max_steps <= 0:
             raise ExplorationError(f"max_steps must be positive, got {max_steps}")
         self._benchmarks = dict(benchmarks)
-        self._agent_factory = agent_factory
+        if isinstance(agent_factory, AgentSpec):
+            self._agent_spec = agent_factory
+        else:
+            self._agent_spec = AgentSpec.from_factory(agent_factory)
         self._max_steps = int(max_steps)
         self._seeds = tuple(int(seed) for seed in seeds)
         self._env_kwargs = dict(env_kwargs or {})
+        self._executor = executor if executor is not None else SerialExecutor()
+        self._store = store if store is not None else EvaluationStore()
+        self._store_outputs = bool(store_outputs)
 
     @property
     def seeds(self) -> Tuple[int, ...]:
@@ -90,31 +126,72 @@ class Campaign:
     def benchmark_labels(self) -> Tuple[str, ...]:
         return tuple(self._benchmarks)
 
+    @property
+    def executor(self) -> Executor:
+        return self._executor
+
+    @property
+    def store(self) -> EvaluationStore:
+        """The evaluation store shared by every exploration of the campaign."""
+        return self._store
+
+    def jobs(self) -> List[ExplorationJob]:
+        """The campaign definition expanded into its deterministic job list."""
+        return expand_jobs(
+            self._benchmarks,
+            self._agent_spec,
+            seeds=self._seeds,
+            max_steps=self._max_steps,
+            env_kwargs=self._env_kwargs,
+        )
+
+    def run_outcomes(self) -> List[JobOutcome]:
+        """Run every exploration, capturing per-job failures.
+
+        One crashing exploration does not kill the sweep: its outcome
+        carries the traceback (``outcome.error``) while the other jobs
+        complete normally.
+        """
+        return self._executor.run(self.jobs(), store=self._store,
+                                  store_outputs=self._store_outputs)
+
     def run(self) -> List[CampaignEntry]:
-        """Run every (benchmark, seed) exploration and return all entries."""
-        entries: List[CampaignEntry] = []
-        for label, benchmark in self._benchmarks.items():
-            for seed in self._seeds:
-                environment = AxcDseEnv(benchmark, evaluation_seed=seed, **self._env_kwargs)
-                agent = self._agent_factory(environment, seed)
-                result = Explorer(environment, agent, max_steps=self._max_steps).run(seed=seed)
-                entries.append(CampaignEntry(benchmark_label=label, seed=seed, result=result))
-        return entries
+        """Run every (benchmark, seed) exploration and return all entries.
+
+        Raises :class:`ExplorationError` if any job failed — after every
+        job has had the chance to run.  Use :meth:`run_outcomes` to inspect
+        partial results instead.
+        """
+        outcomes = self.run_outcomes()
+        failures = [outcome for outcome in outcomes if not outcome.ok]
+        if failures:
+            details = "\n".join(
+                f"  {outcome.job.describe()}:\n{outcome.error}" for outcome in failures
+            )
+            raise ExplorationError(
+                f"{len(failures)} of {len(outcomes)} exploration(s) failed:\n{details}"
+            )
+        return [
+            CampaignEntry(benchmark_label=outcome.job.benchmark_label,
+                          seed=outcome.job.seed, result=outcome.result)
+            for outcome in outcomes
+        ]
 
     @staticmethod
     def summarize(entries: Iterable[CampaignEntry]) -> Dict[str, CampaignSummary]:
-        """Aggregate campaign entries per benchmark label."""
+        """Aggregate campaign entries per benchmark label (``{}`` when empty)."""
         grouped: Dict[str, List[CampaignEntry]] = {}
         for entry in entries:
             grouped.setdefault(entry.benchmark_label, []).append(entry)
+        if not grouped:
+            return {}
 
         summaries: Dict[str, CampaignSummary] = {}
         for label, group in grouped.items():
             solutions = [entry.result.solution.deltas for entry in group]
+            best_records = (entry.result.best_feasible() for entry in group)
             best_values = [
-                entry.result.best_feasible().deltas.power_mw
-                for entry in group
-                if entry.result.best_feasible() is not None
+                record.deltas.power_mw for record in best_records if record is not None
             ]
             summaries[label] = CampaignSummary(
                 benchmark_label=label,

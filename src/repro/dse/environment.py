@@ -25,6 +25,7 @@ from repro.dse.thresholds import ExplorationThresholds, derive_thresholds
 from repro.errors import ConfigurationError, InvalidAction, ResetNeeded
 from repro.gymlite import spaces
 from repro.operators.catalog import OperatorCatalog
+from repro.runtime.store import EvaluationStore
 
 __all__ = ["AxcDseEnv", "ACTION_SCHEMES"]
 
@@ -60,6 +61,12 @@ class AxcDseEnv(gymlite.Env):
     accuracy_factor, power_fraction, time_fraction:
         Threshold derivation parameters (only used when ``thresholds`` is
         omitted).
+    store:
+        Optional shared :class:`~repro.runtime.store.EvaluationStore` the
+        evaluator caches into (and warm-starts from).
+    store_outputs:
+        Whether cached evaluation records retain raw output arrays (see
+        :class:`~repro.dse.evaluator.Evaluator`).
     """
 
     metadata = {"render_modes": ["ansi"]}
@@ -71,7 +78,9 @@ class AxcDseEnv(gymlite.Env):
                  action_scheme: str = "directional", accuracy_factor: float = 0.4,
                  power_fraction: float = 0.5, time_fraction: float = 0.5,
                  signed_accuracy: bool = False,
-                 restrict_to_benchmark_widths: bool = True) -> None:
+                 restrict_to_benchmark_widths: bool = True,
+                 store: Optional[EvaluationStore] = None,
+                 store_outputs: bool = True) -> None:
         if action_scheme not in ACTION_SCHEMES:
             raise ConfigurationError(
                 f"action_scheme must be one of {ACTION_SCHEMES}, got {action_scheme!r}"
@@ -83,7 +92,8 @@ class AxcDseEnv(gymlite.Env):
 
         self._evaluator = Evaluator(benchmark, catalog, seed=evaluation_seed,
                                     signed_accuracy=signed_accuracy,
-                                    restrict_to_benchmark_widths=restrict_to_benchmark_widths)
+                                    restrict_to_benchmark_widths=restrict_to_benchmark_widths,
+                                    store=store, store_outputs=store_outputs)
         self._space = self._evaluator.design_space
         self._max_cumulative_reward = float(max_cumulative_reward)
         self._reward_function = reward_function or Algorithm1Reward(

@@ -6,16 +6,21 @@ obtain the exact outputs and the precise power / time baseline, and then
 evaluates any design point by executing the corresponding approximate
 version and deriving (Δacc, Δpower, Δtime).
 
-Evaluations are cached per design point: the exploration may take thousands
-of steps, but the number of distinct configurations is bounded by the design
-space size, so caching keeps even the 50x50 matrix-multiplication
-exploration fast without changing any observable result.
+Evaluations are cached per design point in an
+:class:`~repro.runtime.store.EvaluationStore`: the exploration may take
+thousands of steps, but the number of distinct configurations is bounded by
+the design space size, so caching keeps even the 50x50 matrix-multiplication
+exploration fast without changing any observable result.  By default every
+evaluator owns a private in-memory store; inject a shared store to let
+sibling evaluators (other seeds, other agents, parallel campaign workers)
+reuse each other's measurements — evaluation is deterministic, so a store
+hit is bit-identical to the evaluation it replaces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Mapping, Optional
 
 import numpy as np
 
@@ -25,18 +30,30 @@ from repro.instrumentation.context import ApproxContext
 from repro.metrics.deltas import ObjectiveDeltas, compute_deltas
 from repro.operators.catalog import OperatorCatalog, default_catalog
 from repro.operators.energy import CostModel, RunCost
+from repro.runtime.store import (
+    EvaluationKey,
+    EvaluationStore,
+    benchmark_fingerprint,
+    catalog_fingerprint,
+)
 
 __all__ = ["EvaluationRecord", "Evaluator"]
 
 
 @dataclass(frozen=True)
 class EvaluationRecord:
-    """Everything measured for one design point."""
+    """Everything measured for one design point.
+
+    ``outputs`` is optional: campaigns evaluate thousands of design points
+    and only need the objective deltas, so evaluators constructed with
+    ``store_outputs=False`` cache records without the raw output arrays —
+    light enough to ship across process boundaries by the thousand.
+    """
 
     point: DesignPoint
     deltas: ObjectiveDeltas
     approx_cost: RunCost
-    outputs: np.ndarray
+    outputs: Optional[np.ndarray] = None
 
     @property
     def accuracy(self) -> float:
@@ -52,11 +69,24 @@ class EvaluationRecord:
 
 
 class Evaluator:
-    """Runs precise and approximate versions of one benchmark workload."""
+    """Runs precise and approximate versions of one benchmark workload.
+
+    Parameters
+    ----------
+    store:
+        Shared :class:`~repro.runtime.store.EvaluationStore`; omitted, the
+        evaluator owns a private in-memory store (the historical behaviour).
+    store_outputs:
+        Whether cached records retain the raw output arrays.  Defaults to
+        ``True`` for direct users; campaigns default it off to keep records
+        light (see :class:`~repro.dse.campaign.Campaign`).
+    """
 
     def __init__(self, benchmark: Benchmark, catalog: Optional[OperatorCatalog] = None,
                  seed: int = 0, signed_accuracy: bool = False,
-                 restrict_to_benchmark_widths: bool = True) -> None:
+                 restrict_to_benchmark_widths: bool = True,
+                 store: Optional[EvaluationStore] = None,
+                 store_outputs: bool = True) -> None:
         self._benchmark = benchmark
         self._full_catalog = catalog if catalog is not None else default_catalog()
         if restrict_to_benchmark_widths:
@@ -86,7 +116,19 @@ class Evaluator:
         self._precise_outputs = benchmark.execute(precise_context, self._inputs).outputs
         self._precise_cost = self._cost_model.run_cost(precise_context.profile.as_dict())
 
-        self._cache: Dict[Tuple, EvaluationRecord] = {}
+        self._store = store if store is not None else EvaluationStore()
+        self._store_outputs = bool(store_outputs)
+        self._served: set = set()  # point keys this evaluator has served
+        # Every cached evaluation of this evaluator lives under one context
+        # prefix: anything that changes the measurement — the benchmark and
+        # its parameters, the catalog, the workload seed, the accuracy mode —
+        # changes the prefix, so store hits are always bit-identical replays.
+        self._store_context = (
+            benchmark_fingerprint(benchmark),
+            catalog_fingerprint(self._catalog),
+            int(seed),
+            bool(signed_accuracy),
+        )
 
     # ------------------------------------------------------------ properties
 
@@ -124,9 +166,25 @@ class Evaluator:
         return self._precise_cost
 
     @property
+    def store(self) -> EvaluationStore:
+        """The evaluation store caching this evaluator's measurements."""
+        return self._store
+
+    @property
+    def store_context(self) -> tuple:
+        """The (benchmark, catalog, seed, signed) prefix of this evaluator's keys."""
+        return self._store_context
+
+    @property
     def cache_size(self) -> int:
-        """Number of distinct design points evaluated so far."""
-        return len(self._cache)
+        """Number of distinct design points this evaluator has served.
+
+        Counts only this evaluator's own lookups, not sibling entries a
+        shared store may hold for the same context — so the figure is
+        identical whether a sweep runs serially or fanned out over
+        processes.
+        """
+        return len(self._served)
 
     # ------------------------------------------------------------ evaluation
 
@@ -146,11 +204,21 @@ class Evaluator:
             approximate_variables=selected,
         )
 
+    def store_key(self, point: DesignPoint) -> EvaluationKey:
+        """The store key addressing one design point of this evaluator."""
+        return EvaluationKey(*self._store_context, point=point.key())
+
     def evaluate(self, point: DesignPoint) -> EvaluationRecord:
         """Measure (Δacc, Δpower, Δtime) for one design point (cached)."""
-        key = point.key()
-        if key in self._cache:
-            return self._cache[key]
+        self._space.validate(point)
+        key = self.store_key(point)
+        record = self._store.get(key)
+        # A cached record without outputs (written by an outputs-dropping
+        # sibling) does not satisfy an evaluator that retains outputs:
+        # re-evaluate and upgrade the stored record instead of serving it.
+        if record is not None and (not self._store_outputs or record.outputs is not None):
+            self._served.add(key.point)
+            return record
 
         context = self.context_for(point)
         run = self._benchmark.execute(context, self._inputs)
@@ -160,10 +228,12 @@ class Evaluator:
             signed_accuracy=self._signed_accuracy,
         )
         record = EvaluationRecord(point=point, deltas=deltas, approx_cost=approx_cost,
-                                  outputs=run.outputs)
-        self._cache[key] = record
+                                  outputs=run.outputs if self._store_outputs else None)
+        self._store.put(key, record)
+        self._served.add(key.point)
         return record
 
     def clear_cache(self) -> None:
-        """Drop every cached evaluation (e.g. after changing the workload)."""
-        self._cache.clear()
+        """Drop this evaluator's cached evaluations (e.g. after changing the workload)."""
+        self._store.clear_context(self._store_context)
+        self._served.clear()

@@ -7,7 +7,7 @@ analysis layer can regenerate the paper's tables and figures from the trace.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.dse.environment import AxcDseEnv
 from repro.dse.results import ExplorationResult, StepRecord
@@ -18,16 +18,27 @@ if TYPE_CHECKING:  # imported lazily to avoid a circular import with repro.agent
 
 __all__ = ["Explorer", "explore"]
 
+#: Per-step progress callback; receives every recorded step as it happens.
+StepCallback = Callable[[StepRecord], None]
+
 
 class Explorer:
-    """Drives one agent through one environment and records the trace."""
+    """Drives one agent through one environment and records the trace.
 
-    def __init__(self, environment: AxcDseEnv, agent: "Agent", max_steps: int = 10_000) -> None:
+    ``on_step`` is an optional progress callback invoked with every
+    :class:`StepRecord` as it is recorded (including the initial step 0),
+    so long explorations can report progress or stream their trace without
+    waiting for the episode to finish.
+    """
+
+    def __init__(self, environment: AxcDseEnv, agent: "Agent", max_steps: int = 10_000,
+                 on_step: Optional[StepCallback] = None) -> None:
         if max_steps <= 0:
             raise ExplorationError(f"max_steps must be positive, got {max_steps}")
         self._environment = environment
         self._agent = agent
         self._max_steps = int(max_steps)
+        self._on_step = on_step
 
     @property
     def environment(self) -> AxcDseEnv:
@@ -41,10 +52,16 @@ class Explorer:
     def max_steps(self) -> int:
         return self._max_steps
 
-    def run(self, seed: Optional[int] = None, random_start: bool = False) -> ExplorationResult:
-        """Run one exploration episode and return its full trace."""
+    def run(self, seed: Optional[int] = None, random_start: bool = False,
+            on_step: Optional[StepCallback] = None) -> ExplorationResult:
+        """Run one exploration episode and return its full trace.
+
+        ``on_step`` overrides the constructor's progress callback for this
+        episode.
+        """
         environment = self._environment
         agent = self._agent
+        callback = on_step if on_step is not None else self._on_step
 
         observation, info = environment.reset(
             seed=seed, options={"random_start": random_start}
@@ -62,6 +79,8 @@ class Explorer:
                 cumulative_reward=info["cumulative_reward"],
             )
         )
+        if callback is not None:
+            callback(records[-1])
 
         terminated = False
         for step in range(1, self._max_steps + 1):
@@ -81,6 +100,8 @@ class Explorer:
                     constraint_violated=bool(info["constraint_violated"]),
                 )
             )
+            if callback is not None:
+                callback(records[-1])
             if terminated or truncated:
                 break
 

@@ -1,0 +1,52 @@
+"""The campaign runtime: jobs, executors and the shared evaluation store.
+
+This package turns a sweep definition into throughput:
+
+* :mod:`~repro.runtime.jobs` — :class:`ExplorationJob`, a fully picklable
+  description of one exploration, plus deterministic expansion of a
+  campaign definition into its job list;
+* :mod:`~repro.runtime.executor` — one executor interface with two
+  strategies: :class:`SerialExecutor` (inline, the default) and
+  :class:`ProcessExecutor` (multiprocessing fan-out with per-job error
+  capture and store merge-back);
+* :mod:`~repro.runtime.store` — :class:`EvaluationStore`, a process-safe,
+  optionally disk-backed cache of design-point evaluations keyed by
+  content fingerprints, so sibling runs (other seeds, other agents, later
+  campaigns) start warm instead of re-measuring the same design points.
+
+Both executors produce identical results for the same job list; the store
+only ever returns records bit-identical to a fresh evaluation.
+"""
+
+from repro.runtime.executor import Executor, JobOutcome, ProcessExecutor, SerialExecutor
+from repro.runtime.jobs import (
+    AGENT_NAMES,
+    AgentSpec,
+    ExplorationJob,
+    execute_job,
+    expand_jobs,
+)
+from repro.runtime.store import (
+    EvaluationKey,
+    EvaluationStore,
+    StoreStats,
+    benchmark_fingerprint,
+    catalog_fingerprint,
+)
+
+__all__ = [
+    "AGENT_NAMES",
+    "AgentSpec",
+    "ExplorationJob",
+    "expand_jobs",
+    "execute_job",
+    "Executor",
+    "JobOutcome",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "EvaluationKey",
+    "EvaluationStore",
+    "StoreStats",
+    "benchmark_fingerprint",
+    "catalog_fingerprint",
+]

@@ -1,0 +1,206 @@
+"""Pluggable exploration executors: serial and multi-process fan-out.
+
+One interface, two strategies.  :class:`SerialExecutor` preserves the
+historical behaviour — jobs run inline, one after the other, sharing the
+evaluation store directly.  :class:`ProcessExecutor` fans the same job list
+out over worker processes: each worker receives a snapshot of the store,
+runs its job against a private copy, and ships only the newly evaluated
+records back for the parent to merge.  Because design-point evaluation is
+fully deterministic given (benchmark, catalog, seed), both executors produce
+identical results for the same job list — parallelism changes wall-clock
+time, never output.
+
+Failures are captured per job: a crashing exploration (or an unpicklable
+job) yields a :class:`JobOutcome` carrying the traceback instead of killing
+the sweep, so a 4 x 3 campaign with one bad configuration still returns the
+other eleven results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+import traceback
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runtime.jobs import ExplorationJob, execute_job
+from repro.runtime.store import EvaluationKey, EvaluationStore
+
+__all__ = ["JobOutcome", "Executor", "SerialExecutor", "ProcessExecutor"]
+
+#: Called after every finished job with its outcome (progress reporting).
+OutcomeCallback = Callable[["JobOutcome"], None]
+
+
+@dataclass
+class JobOutcome:
+    """Result (or captured failure) of one executed job."""
+
+    job: ExplorationJob
+    result: Optional[object] = None  # ExplorationResult when ok
+    error: Optional[str] = None
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class Executor(ABC):
+    """Runs a list of exploration jobs against a shared evaluation store."""
+
+    @abstractmethod
+    def run(self, jobs: Sequence[ExplorationJob],
+            store: Optional[EvaluationStore] = None,
+            store_outputs: bool = False,
+            on_outcome: Optional[OutcomeCallback] = None) -> List[JobOutcome]:
+        """Execute every job; outcomes are returned in job order."""
+
+
+class SerialExecutor(Executor):
+    """Runs jobs inline, one at a time (the default executor)."""
+
+    def run(self, jobs: Sequence[ExplorationJob],
+            store: Optional[EvaluationStore] = None,
+            store_outputs: bool = False,
+            on_outcome: Optional[OutcomeCallback] = None) -> List[JobOutcome]:
+        store = store if store is not None else EvaluationStore()
+        outcomes: List[JobOutcome] = []
+        for job in jobs:
+            started = time.perf_counter()
+            try:
+                result = execute_job(job, store=store, store_outputs=store_outputs)
+                outcome = JobOutcome(job=job, result=result,
+                                     duration_s=time.perf_counter() - started)
+            except Exception:
+                outcome = JobOutcome(job=job, error=traceback.format_exc(),
+                                     duration_s=time.perf_counter() - started)
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+        return outcomes
+
+
+def _run_job_in_worker(job: ExplorationJob,
+                       snapshot_blob: bytes,
+                       store_outputs: bool) -> Tuple[Optional[object], Optional[str],
+                                                     Dict[EvaluationKey, object], int, int]:
+    """Worker entry point: run one job against a private store copy.
+
+    The snapshot arrives pre-pickled (``snapshot_blob``) so the parent
+    serialises it once per wave instead of once per submitted job.  Returns
+    ``(result, error, new_entries, hits, misses)`` — only records absent
+    from the incoming snapshot travel back, keeping the merge payload
+    proportional to the new work actually done.
+    """
+    snapshot: Dict[EvaluationKey, object] = pickle.loads(snapshot_blob)
+    store = EvaluationStore(records=snapshot)
+    try:
+        result = execute_job(job, store=store, store_outputs=store_outputs)
+    except Exception:
+        stats = store.stats
+        return None, traceback.format_exc(), {}, stats.hits, stats.misses
+    new_entries = {
+        key: record for key, record in store.snapshot().items() if key not in snapshot
+    }
+    stats = store.stats
+    return result, None, new_entries, stats.hits, stats.misses
+
+
+class ProcessExecutor(Executor):
+    """Fans jobs out over worker processes with store merge-back.
+
+    Jobs are dispatched in waves of ``n_jobs``: every wave starts from a
+    fresh snapshot of the shared store, so evaluations contributed by an
+    earlier wave warm-start the later ones (seeds and agents re-visiting the
+    same design points never pay for them twice).
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker process count; defaults to the machine's CPU count.
+    mp_context:
+        Multiprocessing start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); defaults to ``"fork"`` where available (cheap
+        workers on POSIX) and ``"spawn"`` elsewhere.
+    """
+
+    def __init__(self, n_jobs: Optional[int] = None, mp_context: Optional[str] = None) -> None:
+        if n_jobs is not None and n_jobs <= 0:
+            raise ConfigurationError(f"n_jobs must be positive, got {n_jobs}")
+        self._n_jobs = int(n_jobs) if n_jobs is not None else (os.cpu_count() or 1)
+        if mp_context is not None and mp_context not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                f"unknown multiprocessing start method {mp_context!r}; "
+                f"available: {multiprocessing.get_all_start_methods()}"
+            )
+        self._mp_context = mp_context
+
+    @property
+    def n_jobs(self) -> int:
+        return self._n_jobs
+
+    def _context(self) -> multiprocessing.context.BaseContext:
+        method = self._mp_context
+        if method is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        return multiprocessing.get_context(method)
+
+    def run(self, jobs: Sequence[ExplorationJob],
+            store: Optional[EvaluationStore] = None,
+            store_outputs: bool = False,
+            on_outcome: Optional[OutcomeCallback] = None) -> List[JobOutcome]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        store = store if store is not None else EvaluationStore()
+        if self._n_jobs == 1 or len(jobs) == 1:
+            return SerialExecutor().run(jobs, store=store, store_outputs=store_outputs,
+                                        on_outcome=on_outcome)
+
+        outcomes: List[JobOutcome] = []
+        workers = min(self._n_jobs, len(jobs))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=self._context()) as pool:
+            for wave_start in range(0, len(jobs), workers):
+                wave = jobs[wave_start:wave_start + workers]
+                snapshot_blob = pickle.dumps(store.snapshot(),
+                                             protocol=pickle.HIGHEST_PROTOCOL)
+                started = time.perf_counter()
+                futures = [
+                    self._submit(pool, job, snapshot_blob, store_outputs) for job in wave
+                ]
+                for job, future in zip(wave, futures):
+                    outcome = self._collect(job, future, store, started)
+                    outcomes.append(outcome)
+                    if on_outcome is not None:
+                        on_outcome(outcome)
+        return outcomes
+
+    @staticmethod
+    def _submit(pool: ProcessPoolExecutor, job: ExplorationJob,
+                snapshot_blob: bytes, store_outputs: bool):
+        try:
+            return pool.submit(_run_job_in_worker, job, snapshot_blob, store_outputs)
+        except Exception:  # unpicklable job: captured, does not kill the sweep
+            return traceback.format_exc()
+
+    @staticmethod
+    def _collect(job: ExplorationJob, future: object, store: EvaluationStore,
+                 started: float) -> JobOutcome:
+        if isinstance(future, str):  # submission failed (see _submit)
+            return JobOutcome(job=job, error=future)
+        try:
+            result, error, new_entries, hits, misses = future.result()
+        except Exception:  # pickling of arguments/results failed in transit
+            return JobOutcome(job=job, error=traceback.format_exc(),
+                              duration_s=time.perf_counter() - started)
+        store.merge(new_entries)
+        store.record_external_lookups(hits, misses)
+        return JobOutcome(job=job, result=result, error=error,
+                          duration_s=time.perf_counter() - started)

@@ -1,0 +1,202 @@
+"""Exploration jobs: picklable work units for the campaign runtime.
+
+A sweep — the paper's Table III, the ablations, any multi-seed evaluation —
+is a list of independent explorations.  :class:`ExplorationJob` captures one
+of them as data (benchmark instance, workload seed, agent spec, step budget,
+environment settings) so an executor can run it anywhere: inline, in a
+worker process, or on a remote machine.  Everything in a job is picklable;
+:func:`expand_jobs` derives the job list of a campaign definition
+deterministically, and :func:`execute_job` is the single entry point every
+executor funnels through.
+
+Agents are described by :class:`AgentSpec` rather than a bare callable so
+the spec survives pickling: the built-in agent families are addressed by
+name, and custom factories are supported as long as the callable itself is
+picklable (a module-level function — closures and lambdas only work with the
+serial executor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError, ExplorationError
+
+if TYPE_CHECKING:  # imported lazily at run time to keep import edges acyclic
+    from repro.benchmarks.base import Benchmark
+    from repro.dse.environment import AxcDseEnv
+    from repro.dse.results import ExplorationResult, StepRecord
+    from repro.runtime.store import EvaluationStore
+
+__all__ = ["AgentSpec", "ExplorationJob", "expand_jobs", "execute_job", "AGENT_NAMES"]
+
+#: Agent families :meth:`AgentSpec.build` can construct by name.
+AGENT_NAMES = ("q-learning", "sarsa", "random")
+
+#: Builds an agent for a given environment; receives (environment, seed).
+AgentFactory = Callable[["AxcDseEnv", int], object]
+
+
+@dataclass(frozen=True)
+class AgentSpec:
+    """Picklable description of the agent driving one exploration.
+
+    Either names one of the built-in families (``"q-learning"``, ``"sarsa"``,
+    ``"random"``) with optional constructor overrides, or wraps an arbitrary
+    factory callable via :meth:`from_factory`.
+    """
+
+    name: str
+    options: Mapping[str, object] = field(default_factory=dict)
+    factory: Optional[AgentFactory] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "options", dict(self.options))
+        if self.factory is None and self.name not in AGENT_NAMES:
+            raise ConfigurationError(
+                f"agent name must be one of {AGENT_NAMES}, got {self.name!r}"
+            )
+
+    @classmethod
+    def from_factory(cls, factory: AgentFactory, name: str = "custom") -> "AgentSpec":
+        """Wrap an ``(environment, seed) -> agent`` callable as a spec.
+
+        The callable must be picklable (defined at module level) for the
+        spec to cross process boundaries; the serial executor accepts any
+        callable.
+        """
+        if not callable(factory):
+            raise ConfigurationError(f"agent factory must be callable, got {factory!r}")
+        return cls(name=name, factory=factory)
+
+    def build(self, environment: "AxcDseEnv", seed: int, max_steps: int) -> object:
+        """Instantiate the agent for one exploration."""
+        if self.factory is not None:
+            return self.factory(environment, seed)
+        from repro.agents import QLearningAgent, RandomAgent, SarsaAgent
+        from repro.agents.schedules import LinearDecayEpsilon
+
+        options = dict(self.options)
+        options.setdefault("num_actions", environment.action_space.n)
+        options.setdefault("seed", seed)
+        if self.name == "random":
+            return RandomAgent(**options)
+        options.setdefault(
+            "epsilon",
+            LinearDecayEpsilon(start=1.0, end=0.05, decay_steps=max(max_steps // 2, 1)),
+        )
+        agent_class = QLearningAgent if self.name == "q-learning" else SarsaAgent
+        return agent_class(**options)
+
+
+@dataclass(frozen=True)
+class ExplorationJob:
+    """One exploration of a campaign, as shippable data.
+
+    Attributes
+    ----------
+    benchmark_label:
+        Campaign-level label of the benchmark configuration (the key of the
+        campaign's benchmark mapping, e.g. ``"matmul_10x10"``).
+    benchmark:
+        The benchmark instance itself (picklable by construction: plain
+        attributes, no open resources).
+    seed:
+        Workload and exploration seed of this run.
+    agent:
+        The agent specification.
+    max_steps:
+        Exploration step budget.
+    env_kwargs:
+        Extra keyword arguments for :class:`~repro.dse.environment.AxcDseEnv`
+        (thresholds, action scheme, reward function, ...).
+    random_start:
+        Whether the exploration starts from a random design point.
+    """
+
+    benchmark_label: str
+    benchmark: "Benchmark"
+    seed: int
+    agent: AgentSpec
+    max_steps: int = 10_000
+    env_kwargs: Mapping[str, object] = field(default_factory=dict)
+    random_start: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_steps <= 0:
+            raise ExplorationError(f"max_steps must be positive, got {self.max_steps}")
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "max_steps", int(self.max_steps))
+        object.__setattr__(self, "env_kwargs", dict(self.env_kwargs))
+
+    def describe(self) -> str:
+        """Short human-readable identity, used in error reports and logs."""
+        return (
+            f"{self.benchmark_label}[seed={self.seed}, agent={self.agent.name}, "
+            f"steps={self.max_steps}]"
+        )
+
+
+def expand_jobs(benchmarks: Mapping[str, "Benchmark"],
+                agents: Union[AgentSpec, Sequence[AgentSpec]],
+                seeds: Sequence[int] = (0,),
+                max_steps: int = 10_000,
+                env_kwargs: Optional[Mapping[str, object]] = None,
+                random_start: bool = False) -> List[ExplorationJob]:
+    """Deterministically expand a campaign definition into its job list.
+
+    The order is benchmark (mapping order) x agent x seed, so the same
+    definition always yields the same list — executors may run jobs in any
+    order, but results are reported in expansion order.
+    """
+    if not benchmarks:
+        raise ExplorationError("a campaign requires at least one benchmark")
+    if isinstance(agents, AgentSpec):
+        agents = (agents,)
+    agents = tuple(agents)
+    if not agents:
+        raise ExplorationError("a campaign requires at least one agent spec")
+    seeds = tuple(int(seed) for seed in seeds)
+    if not seeds:
+        raise ExplorationError("a campaign requires at least one seed")
+
+    jobs: List[ExplorationJob] = []
+    for label, benchmark in benchmarks.items():
+        for agent in agents:
+            for seed in seeds:
+                jobs.append(
+                    ExplorationJob(
+                        benchmark_label=label,
+                        benchmark=benchmark,
+                        seed=seed,
+                        agent=agent,
+                        max_steps=max_steps,
+                        env_kwargs=dict(env_kwargs or {}),
+                        random_start=random_start,
+                    )
+                )
+    return jobs
+
+
+def execute_job(job: ExplorationJob,
+                store: Optional["EvaluationStore"] = None,
+                store_outputs: bool = False,
+                on_step: Optional[Callable[["StepRecord"], None]] = None) -> "ExplorationResult":
+    """Run one exploration job and return its result.
+
+    ``store`` warm-starts the evaluator with previously measured design
+    points and receives every new evaluation; ``store_outputs`` controls
+    whether raw output arrays are retained in the cached records (off by
+    default — campaigns only need the objective deltas).
+    """
+    from repro.dse.environment import AxcDseEnv
+    from repro.dse.explorer import Explorer
+
+    env_kwargs: Dict[str, object] = {
+        "store": store, "store_outputs": store_outputs, **dict(job.env_kwargs)
+    }
+    environment = AxcDseEnv(job.benchmark, evaluation_seed=job.seed, **env_kwargs)
+    agent = job.agent.build(environment, job.seed, job.max_steps)
+    explorer = Explorer(environment, agent, max_steps=job.max_steps, on_step=on_step)
+    return explorer.run(seed=job.seed, random_start=job.random_start)

@@ -1,0 +1,335 @@
+"""A shared, process-safe store of design-point evaluations.
+
+Evaluating a design point is the cost centre of every exploration: the
+benchmark kernel runs once per distinct configuration, and a sweep over
+seeds and agents re-visits the same configurations again and again.  The
+:class:`EvaluationStore` turns that repetition into reuse — it maps an
+:class:`EvaluationKey` (benchmark fingerprint, catalog fingerprint,
+workload seed, accuracy mode, design-point key) to the cached
+:class:`~repro.dse.evaluator.EvaluationRecord`, so any evaluator sharing a
+store starts warm with everything its siblings already measured.
+
+The store is process-safe by construction rather than by locking: parallel
+workers receive an immutable :meth:`EvaluationStore.snapshot` of the parent
+store, evaluate against their private copy, and the parent merges the new
+entries back with :meth:`EvaluationStore.merge` once the worker returns.  A
+single writer (the parent process) also owns the optional on-disk backend —
+a sqlite file loaded on construction and written by :meth:`flush` — so
+campaigns can persist their evaluations across runs and later sweeps start
+warm even across process boundaries.
+
+Keys are content-addressed: two benchmarks with identical kernels and
+parameters share a fingerprint, and any change to the operator catalog,
+workload seed, or accuracy mode changes the key, so a hit is always
+bit-identical to the evaluation it replaces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import sqlite3
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # typing only: keep runtime.store free of repro.dse imports
+    from repro.benchmarks.base import Benchmark
+    from repro.dse.evaluator import EvaluationRecord
+    from repro.operators.catalog import OperatorCatalog
+
+__all__ = [
+    "EvaluationKey",
+    "EvaluationStore",
+    "StoreStats",
+    "benchmark_fingerprint",
+    "catalog_fingerprint",
+]
+
+
+# --------------------------------------------------------------- fingerprints
+
+
+def _stable_repr(value: object) -> str:
+    """A deterministic, content-addressed repr for fingerprint payloads."""
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha1(np.ascontiguousarray(value).tobytes()).hexdigest()
+        return f"ndarray(shape={value.shape},dtype={value.dtype},sha1={digest})"
+    if isinstance(value, Mapping):
+        items = ",".join(
+            f"{key!r}:{_stable_repr(item)}" for key, item in sorted(value.items())
+        )
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple)):
+        items = ",".join(_stable_repr(item) for item in value)
+        return f"({items})"
+    return repr(value)
+
+
+def benchmark_fingerprint(benchmark: "Benchmark") -> str:
+    """Content fingerprint of a benchmark instance.
+
+    Covers the class, registry name, approximable variables, datapath widths
+    and every instance attribute (sizes, tap counts, amplitudes, ...), so two
+    instances describing the same kernel and workload share a fingerprint.
+    """
+    parts = [
+        type(benchmark).__qualname__,
+        str(benchmark.name),
+        repr(tuple(benchmark.variables)),
+        f"add_width={benchmark.add_width}",
+        f"mul_width={benchmark.mul_width}",
+    ]
+    for attr, value in sorted(vars(benchmark).items()):
+        parts.append(f"{attr}={_stable_repr(value)}")
+    return hashlib.sha1("|".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+def catalog_fingerprint(catalog: "OperatorCatalog") -> str:
+    """Content fingerprint of an operator catalog (names, widths, costs)."""
+    parts = []
+    for entry in tuple(catalog.adders) + tuple(catalog.multipliers):
+        published = entry.published
+        parts.append(
+            f"{entry.name}:{entry.kind.value if hasattr(entry.kind, 'value') else entry.kind}"
+            f":{entry.width}:{published.mred_percent!r}:{published.power_mw!r}"
+            f":{published.delay_ns!r}"
+        )
+    return hashlib.sha1("|".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------- keys
+
+
+class EvaluationKey(NamedTuple):
+    """Identity of one cached evaluation.
+
+    The first four fields pin down the evaluation context (what is being
+    measured and against which baseline); ``point`` is the design-point key
+    within that context.
+    """
+
+    benchmark: str
+    catalog: str
+    seed: int
+    signed: bool
+    point: Tuple[int, int, Tuple[bool, ...]]
+
+    @property
+    def context(self) -> Tuple[str, str, int, bool]:
+        """The (benchmark, catalog, seed, signed) prefix shared by one evaluator."""
+        return (self.benchmark, self.catalog, self.seed, self.signed)
+
+
+def _encode_key(key: EvaluationKey) -> str:
+    adder, multiplier, variables = key.point
+    mask = "".join("1" if flag else "0" for flag in variables)
+    return (
+        f"{key.benchmark}|{key.catalog}|{key.seed}|{int(key.signed)}"
+        f"|{adder}:{multiplier}:{mask}"
+    )
+
+
+def _decode_key(text: str) -> EvaluationKey:
+    benchmark, catalog, seed, signed, point = text.split("|")
+    adder, multiplier, mask = point.split(":")
+    return EvaluationKey(
+        benchmark=benchmark,
+        catalog=catalog,
+        seed=int(seed),
+        signed=bool(int(signed)),
+        point=(int(adder), int(multiplier), tuple(flag == "1" for flag in mask)),
+    )
+
+
+class StoreStats(NamedTuple):
+    """Hit/miss counters of one store (including merged worker counters)."""
+
+    hits: int
+    misses: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+# ---------------------------------------------------------------------- store
+
+
+class EvaluationStore:
+    """Keyed cache of :class:`EvaluationRecord` shared between evaluators.
+
+    Parameters
+    ----------
+    path:
+        Optional sqlite file backing the store.  Existing entries are loaded
+        on construction; :meth:`flush` (or :meth:`close` / the context
+        manager) writes the current contents back.  Only one process should
+        own a given path at a time — parallel workers operate on in-memory
+        snapshots and are merged back by the owner.
+    records:
+        Optional initial contents (e.g. a :meth:`snapshot` of another store).
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None,
+                 records: Optional[Mapping[EvaluationKey, "EvaluationRecord"]] = None) -> None:
+        self._records: Dict[EvaluationKey, "EvaluationRecord"] = dict(records or {})
+        self._path = Path(path) if path is not None else None
+        self._hits = 0
+        self._misses = 0
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def path(self) -> Optional[Path]:
+        """The on-disk backend, or ``None`` for a purely in-memory store."""
+        return self._path
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: EvaluationKey) -> bool:
+        return key in self._records
+
+    def keys(self) -> Iterator[EvaluationKey]:
+        return iter(tuple(self._records))
+
+    @property
+    def stats(self) -> StoreStats:
+        return StoreStats(hits=self._hits, misses=self._misses)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate
+
+    def context_size(self, context: Tuple[str, str, int, bool]) -> int:
+        """Number of cached evaluations under one evaluator context."""
+        return sum(1 for key in self._records if key.context == context)
+
+    # -------------------------------------------------------------- get / put
+
+    def get(self, key: EvaluationKey) -> Optional["EvaluationRecord"]:
+        """The cached record for ``key``, or ``None`` (counts hits/misses)."""
+        record = self._records.get(key)
+        if record is None:
+            self._misses += 1
+        else:
+            self._hits += 1
+        return record
+
+    def put(self, key: EvaluationKey, record: "EvaluationRecord") -> None:
+        """Cache one evaluation."""
+        self._records[key] = record
+
+    def clear_context(self, context: Tuple[str, str, int, bool]) -> int:
+        """Drop every record under one evaluator context; returns the count."""
+        stale = [key for key in self._records if key.context == context]
+        for key in stale:
+            del self._records[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every record and reset the counters."""
+        self._records.clear()
+        self._hits = 0
+        self._misses = 0
+
+    # -------------------------------------------------- snapshot / merge-back
+
+    def snapshot(self) -> Dict[EvaluationKey, "EvaluationRecord"]:
+        """A shallow copy of the contents, safe to ship to a worker process."""
+        return dict(self._records)
+
+    def merge(self, other: Union["EvaluationStore", Mapping[EvaluationKey, "EvaluationRecord"]]) -> int:
+        """Fold another store (or snapshot diff) in; returns new-entry count.
+
+        Existing entries win — under content-addressed keys both sides hold
+        bit-identical records, so keeping the incumbent preserves object
+        identity for callers already holding a reference.
+        """
+        records = other.snapshot() if isinstance(other, EvaluationStore) else other
+        added = 0
+        for key, record in records.items():
+            if key not in self._records:
+                self._records[key] = record
+                added += 1
+        return added
+
+    def record_external_lookups(self, hits: int, misses: int) -> None:
+        """Fold the hit/miss counters of a merged worker store into this one."""
+        self._hits += int(hits)
+        self._misses += int(misses)
+
+    # ------------------------------------------------------------ persistence
+
+    def _load(self) -> None:
+        try:
+            with sqlite3.connect(self._path) as connection:
+                rows = connection.execute("SELECT key, record FROM evaluations").fetchall()
+        except sqlite3.Error as error:
+            raise ConfigurationError(
+                f"evaluation store {self._path} is not a readable store database "
+                f"({error}); delete the file or point --store elsewhere"
+            ) from error
+        for text, blob in rows:
+            self._records.setdefault(_decode_key(text), pickle.loads(blob))
+
+    def flush(self) -> int:
+        """Write the current contents to the sqlite backend; returns the count.
+
+        The backend is rewritten to mirror the in-memory contents exactly, so
+        :meth:`clear` / :meth:`clear_context` survive a flush-and-reload.  A
+        no-op (returning 0) for purely in-memory stores.
+        """
+        if self._path is None:
+            return 0
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        with sqlite3.connect(self._path) as connection:
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS evaluations "
+                "(key TEXT PRIMARY KEY, record BLOB NOT NULL)"
+            )
+            connection.execute("DELETE FROM evaluations")
+            connection.executemany(
+                "INSERT INTO evaluations (key, record) VALUES (?, ?)",
+                [
+                    (_encode_key(key), pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+                    for key, record in self._records.items()
+                ],
+            )
+        return len(self._records)
+
+    def close(self) -> None:
+        """Flush the on-disk backend (if any)."""
+        self.flush()
+
+    def __enter__(self) -> "EvaluationStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        backend = str(self._path) if self._path else "memory"
+        return (
+            f"EvaluationStore(entries={len(self._records)}, backend={backend!r}, "
+            f"hits={self._hits}, misses={self._misses})"
+        )

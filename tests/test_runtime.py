@@ -1,0 +1,370 @@
+"""Tests for the campaign runtime: jobs, executors and the evaluation store.
+
+The load-bearing guarantees:
+
+* a ``ProcessExecutor`` campaign is entry-for-entry identical to a
+  ``SerialExecutor`` campaign on the same definition;
+* an ``EvaluationStore`` hit is bit-identical to a fresh evaluation;
+* one failing exploration does not kill the sweep.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.agents import QLearningAgent
+from repro.benchmarks import DotProductBenchmark, FirBenchmark, MatMulBenchmark
+from repro.dse import Campaign, Evaluator
+from repro.errors import ConfigurationError, ExplorationError
+from repro.runtime import (
+    AgentSpec,
+    EvaluationKey,
+    EvaluationStore,
+    ExplorationJob,
+    ProcessExecutor,
+    SerialExecutor,
+    benchmark_fingerprint,
+    catalog_fingerprint,
+    execute_job,
+    expand_jobs,
+)
+
+
+def _qlearning_factory(environment, seed):
+    """Module-level factory: picklable, usable with the process executor."""
+    return QLearningAgent(num_actions=environment.action_space.n, epsilon=0.3, seed=seed)
+
+
+def _crashing_factory(environment, seed):
+    raise RuntimeError("boom")
+
+
+def _small_benchmarks():
+    return {
+        "dot": DotProductBenchmark(length=12),
+        "matmul": MatMulBenchmark(rows=3, inner=3, cols=3),
+    }
+
+
+# ---------------------------------------------------------------- fingerprints
+
+
+class TestFingerprints:
+    def test_benchmark_fingerprint_is_content_addressed(self):
+        first = benchmark_fingerprint(DotProductBenchmark(length=12))
+        second = benchmark_fingerprint(DotProductBenchmark(length=12))
+        other = benchmark_fingerprint(DotProductBenchmark(length=13))
+        assert first == second
+        assert first != other
+
+    def test_benchmark_fingerprint_distinguishes_kernels(self):
+        matmul = benchmark_fingerprint(MatMulBenchmark(rows=3, inner=3, cols=3))
+        fir = benchmark_fingerprint(FirBenchmark(num_samples=20, num_taps=4))
+        assert matmul != fir
+
+    def test_catalog_fingerprint_tracks_restriction(self, catalog):
+        full = catalog_fingerprint(catalog)
+        restricted = catalog_fingerprint(catalog.restrict_widths(adder_width=8,
+                                                                 multiplier_width=8))
+        assert full != restricted
+        assert catalog_fingerprint(catalog) == full
+
+
+# ----------------------------------------------------------------------- store
+
+
+class TestEvaluationStore:
+    def test_get_put_and_stats(self, matmul_evaluator):
+        store = EvaluationStore()
+        point = matmul_evaluator.design_space.most_aggressive_point()
+        key = EvaluationKey(*matmul_evaluator.store_context, point=point.key())
+        assert store.get(key) is None
+        record = matmul_evaluator.evaluate(point)
+        store.put(key, record)
+        assert store.get(key) is record
+        assert store.stats.hits == 1 and store.stats.misses == 1
+        assert store.hit_rate == pytest.approx(0.5)
+
+    def test_store_hit_is_bit_identical_to_fresh_evaluation(self, small_matmul):
+        store = EvaluationStore()
+        warm_source = Evaluator(small_matmul, seed=0, store=store)
+        fresh = Evaluator(MatMulBenchmark(rows=4, inner=4, cols=4), seed=0)
+        for point in (fresh.design_space.most_aggressive_point(),
+                      fresh.design_space.initial_point()):
+            warmed = Evaluator(MatMulBenchmark(rows=4, inner=4, cols=4), seed=0, store=store)
+            expected = fresh.evaluate(point)
+            warm_source.evaluate(point)
+            served = warmed.evaluate(point)
+            # The record comes out of the store (same object as the sibling's),
+            # and every measured quantity is bit-identical to a fresh evaluation.
+            assert served is warm_source.evaluate(point)
+            assert served.deltas == expected.deltas
+            assert served.approx_cost == expected.approx_cost
+            np.testing.assert_array_equal(served.outputs, expected.outputs)
+
+    def test_different_seed_or_benchmark_never_shares_entries(self, small_matmul):
+        store = EvaluationStore()
+        point = Evaluator(small_matmul, seed=0, store=store).design_space.initial_point()
+        Evaluator(small_matmul, seed=0, store=store).evaluate(point)
+        other_seed = Evaluator(MatMulBenchmark(rows=4, inner=4, cols=4), seed=1, store=store)
+        other_seed.evaluate(point)
+        assert len(store) == 2  # distinct contexts, no collision
+
+    def test_merge_keeps_incumbent_and_counts_new(self, matmul_evaluator):
+        store = EvaluationStore()
+        point = matmul_evaluator.design_space.initial_point()
+        key = matmul_evaluator.store_key(point)
+        record = matmul_evaluator.evaluate(point)
+        store.put(key, record)
+        other = EvaluationStore()
+        other.put(key, matmul_evaluator.evaluate(point))
+        assert store.merge(other) == 0
+        assert store.get(key) is record
+
+    def test_sqlite_round_trip(self, tmp_path, small_matmul):
+        path = tmp_path / "evaluations.sqlite"
+        store = EvaluationStore(path=path)
+        evaluator = Evaluator(small_matmul, seed=0, store=store, store_outputs=False)
+        expected = evaluator.evaluate(evaluator.design_space.most_aggressive_point())
+        assert store.flush() == 1
+
+        reloaded = EvaluationStore(path=path)
+        assert len(reloaded) == 1
+        warmed = Evaluator(MatMulBenchmark(rows=4, inner=4, cols=4), seed=0, store=reloaded)
+        served = warmed.evaluate(warmed.design_space.most_aggressive_point())
+        assert served.deltas == expected.deltas
+        assert served.approx_cost == expected.approx_cost
+        assert reloaded.stats.hits == 1
+
+    def test_flush_after_clear_does_not_resurrect_records(self, tmp_path, small_matmul):
+        path = tmp_path / "evaluations.sqlite"
+        store = EvaluationStore(path=path)
+        evaluator = Evaluator(small_matmul, seed=0, store=store)
+        evaluator.evaluate(evaluator.design_space.initial_point())
+        store.flush()
+        store.clear()
+        assert store.flush() == 0
+        assert len(EvaluationStore(path=path)) == 0
+
+    def test_outputs_retaining_evaluator_upgrades_outputs_less_records(self, small_matmul):
+        store = EvaluationStore()
+        dropper = Evaluator(small_matmul, seed=0, store=store, store_outputs=False)
+        point = dropper.design_space.most_aggressive_point()
+        assert dropper.evaluate(point).outputs is None
+        keeper = Evaluator(MatMulBenchmark(rows=4, inner=4, cols=4), seed=0, store=store)
+        upgraded = keeper.evaluate(point)
+        assert upgraded.outputs is not None  # re-evaluated, not served stale
+        assert store.get(keeper.store_key(point)).outputs is not None
+
+    def test_cache_size_counts_only_own_lookups(self, small_matmul):
+        store = EvaluationStore()
+        first = Evaluator(small_matmul, seed=0, store=store, store_outputs=False)
+        first.evaluate(first.design_space.initial_point())
+        first.evaluate(first.design_space.most_aggressive_point())
+        sibling = Evaluator(small_matmul, seed=0, store=store, store_outputs=False)
+        sibling.evaluate(sibling.design_space.initial_point())
+        assert first.cache_size == 2
+        assert sibling.cache_size == 1  # warm entries don't inflate the count
+
+    def test_clear_context_only_drops_one_evaluator(self, small_matmul):
+        store = EvaluationStore()
+        first = Evaluator(small_matmul, seed=0, store=store)
+        second = Evaluator(small_matmul, seed=1, store=store)
+        first.evaluate(first.design_space.initial_point())
+        second.evaluate(second.design_space.initial_point())
+        first.clear_cache()
+        assert first.cache_size == 0
+        assert second.cache_size == 1
+
+
+# ------------------------------------------------------------------------ jobs
+
+
+class TestJobs:
+    def test_expand_jobs_order_and_determinism(self):
+        jobs = expand_jobs(_small_benchmarks(),
+                           [AgentSpec("q-learning"), AgentSpec("random")],
+                           seeds=(0, 1), max_steps=10)
+        identity = [(job.benchmark_label, job.agent.name, job.seed) for job in jobs]
+        assert identity == [
+            ("dot", "q-learning", 0), ("dot", "q-learning", 1),
+            ("dot", "random", 0), ("dot", "random", 1),
+            ("matmul", "q-learning", 0), ("matmul", "q-learning", 1),
+            ("matmul", "random", 0), ("matmul", "random", 1),
+        ]
+
+    def test_jobs_are_picklable(self):
+        jobs = expand_jobs(_small_benchmarks(), AgentSpec("sarsa"), seeds=(0,), max_steps=10)
+        restored = pickle.loads(pickle.dumps(jobs))
+        assert [job.describe() for job in restored] == [job.describe() for job in jobs]
+
+    def test_factory_spec_is_picklable_when_module_level(self):
+        spec = AgentSpec.from_factory(_qlearning_factory)
+        assert pickle.loads(pickle.dumps(spec)).factory is _qlearning_factory
+
+    def test_unknown_agent_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            AgentSpec("annealing")
+
+    def test_empty_expansion_raises(self):
+        with pytest.raises(ExplorationError):
+            expand_jobs({}, AgentSpec("random"))
+        with pytest.raises(ExplorationError):
+            expand_jobs(_small_benchmarks(), AgentSpec("random"), seeds=())
+        with pytest.raises(ExplorationError):
+            expand_jobs(_small_benchmarks(), [], seeds=(0,))
+
+    def test_execute_job_matches_direct_exploration(self, dot_benchmark):
+        from repro.dse import AxcDseEnv, Explorer
+
+        job = ExplorationJob(benchmark_label="dot", benchmark=dot_benchmark, seed=3,
+                             agent=AgentSpec.from_factory(_qlearning_factory), max_steps=25)
+        via_job = execute_job(job)
+        environment = AxcDseEnv(dot_benchmark, evaluation_seed=3)
+        direct = Explorer(environment, _qlearning_factory(environment, 3),
+                          max_steps=25).run(seed=3)
+        assert [r.point for r in via_job.records] == [r.point for r in direct.records]
+        assert [r.deltas for r in via_job.records] == [r.deltas for r in direct.records]
+
+
+# ------------------------------------------------------------------- executors
+
+
+class TestExecutors:
+    def test_serial_executor_captures_per_job_errors(self, dot_benchmark):
+        jobs = [
+            ExplorationJob(benchmark_label="bad", benchmark=dot_benchmark, seed=0,
+                           agent=AgentSpec.from_factory(_crashing_factory), max_steps=10),
+            ExplorationJob(benchmark_label="good", benchmark=dot_benchmark, seed=0,
+                           agent=AgentSpec("random"), max_steps=10),
+        ]
+        outcomes = SerialExecutor().run(jobs)
+        assert not outcomes[0].ok and "boom" in outcomes[0].error
+        assert outcomes[1].ok and outcomes[1].result.num_steps == 11
+
+    def test_process_executor_matches_serial_entry_for_entry(self):
+        campaign_kwargs = dict(
+            benchmarks=_small_benchmarks(),
+            agent_factory=AgentSpec("q-learning"),
+            max_steps=30,
+            seeds=(0, 1, 2),
+        )
+        serial = Campaign(executor=SerialExecutor(), **campaign_kwargs).run()
+        parallel = Campaign(executor=ProcessExecutor(n_jobs=2), **campaign_kwargs).run()
+        assert len(serial) == len(parallel) == 6
+        for left, right in zip(serial, parallel):
+            assert (left.benchmark_label, left.seed) == (right.benchmark_label, right.seed)
+            assert [r.deltas for r in left.result.records] == \
+                [r.deltas for r in right.result.records]
+            assert [r.point for r in left.result.records] == \
+                [r.point for r in right.result.records]
+            assert left.result.solution.point == right.result.solution.point
+
+    def test_process_executor_captures_errors_without_killing_sweep(self, dot_benchmark):
+        jobs = [
+            ExplorationJob(benchmark_label="bad", benchmark=dot_benchmark, seed=0,
+                           agent=AgentSpec.from_factory(_crashing_factory), max_steps=10),
+            ExplorationJob(benchmark_label="good", benchmark=dot_benchmark, seed=0,
+                           agent=AgentSpec("random"), max_steps=10),
+        ]
+        outcomes = ProcessExecutor(n_jobs=2).run(jobs)
+        assert not outcomes[0].ok and "boom" in outcomes[0].error
+        assert outcomes[1].ok and outcomes[1].result.num_steps == 11
+
+    def test_process_executor_merges_worker_evaluations(self):
+        store = EvaluationStore()
+        jobs = expand_jobs({"dot": DotProductBenchmark(length=12)}, AgentSpec("random"),
+                           seeds=(0, 1), max_steps=20)
+        ProcessExecutor(n_jobs=2).run(jobs, store=store)
+        assert len(store) > 0
+
+    def test_warm_store_produces_hits_across_runs(self):
+        store = EvaluationStore()
+        jobs = expand_jobs({"dot": DotProductBenchmark(length=12)}, AgentSpec("random"),
+                           seeds=(0,), max_steps=20)
+        SerialExecutor().run(jobs, store=store)
+        size_after_first = len(store)
+        before = store.stats
+        outcomes = ProcessExecutor(n_jobs=2).run(
+            expand_jobs({"dot": DotProductBenchmark(length=12)}, AgentSpec("q-learning"),
+                        seeds=(0,), max_steps=20),
+            store=store,
+        )
+        assert outcomes[0].ok
+        assert store.stats.hits > before.hits  # cross-run reuse actually happened
+        assert len(store) >= size_after_first
+
+    def test_invalid_n_jobs_raises(self):
+        with pytest.raises(ConfigurationError):
+            ProcessExecutor(n_jobs=0)
+        with pytest.raises(ConfigurationError):
+            ProcessExecutor(mp_context="not-a-method")
+
+
+# -------------------------------------------------------------------- campaign
+
+
+class TestCampaignRuntime:
+    def test_campaign_drops_outputs_from_cached_records_by_default(self):
+        campaign = Campaign(benchmarks={"dot": DotProductBenchmark(length=12)},
+                            agent_factory=AgentSpec("random"), max_steps=15, seeds=(0,))
+        campaign.run()
+        records = list(campaign.store.snapshot().values())
+        assert records
+        assert all(record.outputs is None for record in records)
+
+    def test_campaign_run_reports_all_failures_after_running_everything(self):
+        campaign = Campaign(
+            benchmarks={"dot": DotProductBenchmark(length=12)},
+            agent_factory=_crashing_factory,
+            max_steps=10,
+            seeds=(0, 1),
+        )
+        with pytest.raises(ExplorationError, match="2 of 2"):
+            campaign.run()
+        outcomes = campaign.run_outcomes()
+        assert len(outcomes) == 2 and all(not outcome.ok for outcome in outcomes)
+
+    def test_summarize_empty_entries_returns_empty_dict(self):
+        assert Campaign.summarize([]) == {}
+
+    def test_explorer_progress_callback_sees_every_step(self, dot_benchmark):
+        from repro.dse import AxcDseEnv, Explorer
+
+        environment = AxcDseEnv(dot_benchmark, evaluation_seed=0)
+        seen = []
+        result = Explorer(environment, _qlearning_factory(environment, 0), max_steps=12,
+                          on_step=seen.append).run(seed=0)
+        assert len(seen) == result.num_steps
+        assert [record.step for record in seen] == [record.step for record in result.records]
+
+
+# ------------------------------------------------------------------------- cli
+
+
+class TestCampaignCli:
+    def test_campaign_subcommand_serial(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(["campaign", "--benchmarks", "dotproduct", "--seeds", "0",
+                          "--agents", "random", "--steps", "15"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Agent random" in captured
+        assert "Evaluation store" in captured
+
+    def test_campaign_subcommand_persists_store(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store_path = str(tmp_path / "store.sqlite")
+        assert main(["campaign", "--benchmarks", "dotproduct", "--seeds", "0",
+                     "--agents", "random", "--steps", "15", "--store", store_path]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "--benchmarks", "dotproduct", "--seeds", "0",
+                     "--agents", "random", "--steps", "15", "--store", store_path]) == 0
+        captured = capsys.readouterr().out
+        assert "store warm with" in captured
+        assert "(100 % hit rate)" in captured
