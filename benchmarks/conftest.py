@@ -28,11 +28,23 @@ def pytest_addoption(parser):
         default=False,
         help="run the benchmark harness at the paper's full sizes and step budgets",
     )
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run tiny problem sizes and skip wall-clock assertions (CI smoke mode)",
+    )
 
 
 @pytest.fixture(scope="session")
 def paper_scale(request):
     return request.config.getoption("--paper-scale")
+
+
+@pytest.fixture(scope="session")
+def smoke(request):
+    """CI smoke mode: exercise every code path, assert results, not timings."""
+    return request.config.getoption("--smoke")
 
 
 @pytest.fixture(scope="session")

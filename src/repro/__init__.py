@@ -14,7 +14,8 @@ from scratch:
   approximable kernels;
 * :mod:`repro.gymlite` — a minimal Gymnasium-compatible RL substrate;
 * :mod:`repro.dse` — the multi-objective design space, thresholds,
-  Algorithm-1 reward, environment and exploration driver;
+  Algorithm-1 reward, environment and exploration driver, plus the
+  vectorized Pareto-frontier engine and exhaustive design-space sweeps;
 * :mod:`repro.agents` — tabular Q-learning (the paper's agent), SARSA,
   random search, and metaheuristic baselines;
 * :mod:`repro.runtime` — the campaign runtime: picklable exploration jobs,
@@ -48,7 +49,12 @@ from repro.dse import (
     ExplorationThresholds,
     Explorer,
     Evaluator,
+    FrontQuality,
+    ParetoArchive,
+    SweepResult,
     explore,
+    front_quality,
+    run_sweep,
 )
 from repro.operators import OperatorCatalog, default_catalog
 from repro.runtime import (
@@ -58,8 +64,10 @@ from repro.runtime import (
     JobOutcome,
     ProcessExecutor,
     SerialExecutor,
+    SweepJob,
     execute_job,
     expand_jobs,
+    expand_sweep_jobs,
 )
 
 __version__ = "1.1.0"
@@ -86,9 +94,16 @@ __all__ = [
     "Campaign",
     "CampaignEntry",
     "CampaignSummary",
+    "ParetoArchive",
+    "FrontQuality",
+    "front_quality",
+    "SweepResult",
+    "run_sweep",
     "AgentSpec",
     "ExplorationJob",
+    "SweepJob",
     "expand_jobs",
+    "expand_sweep_jobs",
     "execute_job",
     "JobOutcome",
     "SerialExecutor",

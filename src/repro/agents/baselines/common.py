@@ -70,8 +70,14 @@ class BaselineRecorder:
     def num_evaluations(self) -> int:
         return len(self._records)
 
-    def evaluate(self, point: DesignPoint) -> EvaluationRecord:
-        """Evaluate a point and append the corresponding step record."""
+    def evaluate(self, point: DesignPoint, is_baseline: bool = False) -> EvaluationRecord:
+        """Evaluate a point and append the corresponding step record.
+
+        ``is_baseline`` marks the do-nothing starting configuration a search
+        seeds itself with (hill climbing and simulated annealing start at
+        the precise design point), so feasibility summaries score baseline
+        traces under the same rules as explorer traces.
+        """
         record = self._evaluator.evaluate(point)
         outcome = self._reward(point, record.deltas, self._thresholds,
                                self._evaluator.design_space)
@@ -85,6 +91,7 @@ class BaselineRecorder:
                 reward=outcome.reward,
                 cumulative_reward=self._cumulative,
                 constraint_violated=outcome.constraint_violated,
+                is_baseline=is_baseline,
             )
         )
         return record

@@ -42,7 +42,9 @@ class HillClimbingExplorer:
         recorder = BaselineRecorder(self._evaluator, self._thresholds, self.name)
 
         current = space.initial_point()
-        current_fitness = fitness(recorder.evaluate(current).deltas, self._thresholds)
+        current_fitness = fitness(
+            recorder.evaluate(current, is_baseline=True).deltas, self._thresholds
+        )
         best, best_fitness = current, current_fitness
 
         while recorder.num_evaluations < self._max_evaluations:

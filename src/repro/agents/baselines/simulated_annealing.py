@@ -51,7 +51,9 @@ class SimulatedAnnealingExplorer:
         recorder = BaselineRecorder(self._evaluator, self._thresholds, self.name)
 
         current = space.initial_point()
-        current_fitness = fitness(recorder.evaluate(current).deltas, self._thresholds)
+        current_fitness = fitness(
+            recorder.evaluate(current, is_baseline=True).deltas, self._thresholds
+        )
         best, best_fitness = current, current_fitness
 
         temperature = self._initial_temperature

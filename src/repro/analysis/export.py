@@ -38,6 +38,7 @@ def trace_rows(result: ExplorationResult) -> list:
                 "reward": record.reward,
                 "cumulative_reward": record.cumulative_reward,
                 "constraint_violated": record.constraint_violated,
+                "is_baseline": record.is_baseline,
             }
         )
     return rows
@@ -64,6 +65,7 @@ def result_to_dict(result: ExplorationResult) -> Dict[str, object]:
         "agent": result.agent_name,
         "steps": result.num_steps,
         "terminated": result.terminated,
+        "truncated": result.truncated,
         "thresholds": {
             "accuracy": result.thresholds.accuracy,
             "power_mw": result.thresholds.power_mw,

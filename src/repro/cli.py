@@ -9,13 +9,18 @@
 * ``campaign`` — sweep benchmarks x seeds x agents through the campaign
   runtime, optionally in parallel (``--jobs``) and with a persistent
   evaluation store (``--store``);
+* ``sweep`` — exhaustively evaluate whole design spaces (chunked, same
+  runtime) and print each benchmark's ground-truth Pareto front;
 * ``list-benchmarks`` — show the registered benchmarks.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from collections import Counter
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.agents import (
@@ -31,7 +36,7 @@ from repro.analysis import (
     trace_trends,
 )
 from repro.benchmarks import available, create
-from repro.dse import AxcDseEnv, Campaign, CampaignEntry, Explorer
+from repro.dse import AxcDseEnv, Campaign, CampaignEntry, Explorer, run_sweep
 from repro.operators import default_catalog
 from repro.runtime import (
     AGENT_NAMES,
@@ -97,6 +102,23 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes (1 = serial execution)")
     campaign.add_argument("--store", default=None, metavar="PATH",
                           help="sqlite file persisting the evaluation store across runs")
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="exhaustively evaluate design spaces and print the ground-truth Pareto fronts",
+    )
+    sweep.add_argument("--benchmarks", nargs="+", default=["dotproduct"],
+                       choices=sorted(available()), help="benchmarks to sweep exhaustively")
+    sweep.add_argument("--seeds", nargs="+", type=int, default=[0],
+                       help="workload seeds to sweep each benchmark under")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial execution)")
+    sweep.add_argument("--chunk-size", type=int, default=256,
+                       help="design points per sweep chunk job")
+    sweep.add_argument("--store", default=None, metavar="PATH",
+                       help="sqlite file persisting the evaluation store across runs")
+    sweep.add_argument("--out", default=None, metavar="PATH",
+                       help="write the true fronts as JSON")
 
     subparsers.add_parser("list-benchmarks", help="list the registered benchmarks")
     return parser
@@ -200,6 +222,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
                   f"Δtime={summary.mean_solution_time_ns:.1f} ns  "
                   f"Δacc={summary.mean_solution_accuracy:.1f}  "
                   f"feasible={100 * summary.mean_feasible_fraction:.0f} %  "
+                  f"front={summary.mean_front_size:.1f} pts  "
                   f"best feasible Δpower={best}")
 
     stats = store.stats
@@ -208,6 +231,81 @@ def _command_campaign(args: argparse.Namespace) -> int:
           f"({100 * stats.hit_rate:.0f} % hit rate)"
           + (f", persisted to {store.path}" if store.path else ""))
     return 1 if failures else 0
+
+
+def _sweep_result_payload(result) -> Dict[str, object]:
+    return {
+        "benchmark": result.benchmark_name,
+        "seed": result.seed,
+        "space_size": result.space_size,
+        "evaluations": result.evaluations,
+        "front_size": result.front_size,
+        "feasible_front_size": len(result.feasible_front()),
+        "hypervolume_proxy": result.hypervolume(),
+        "thresholds": {
+            "accuracy": result.thresholds.accuracy,
+            "power_mw": result.thresholds.power_mw,
+            "time_ns": result.thresholds.time_ns,
+        },
+        "front": [
+            {
+                "adder_index": record.point.adder_index,
+                "multiplier_index": record.point.multiplier_index,
+                "variables": list(record.point.variables),
+                "delta_accuracy": record.deltas.accuracy,
+                "delta_power_mw": record.deltas.power_mw,
+                "delta_time_ns": record.deltas.time_ns,
+            }
+            for record in result.front
+        ],
+    }
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    benchmarks = {name: create(name) for name in dict.fromkeys(args.benchmarks)}
+    seeds = list(dict.fromkeys(args.seeds))
+    executor = SerialExecutor() if args.jobs <= 1 else ProcessExecutor(n_jobs=args.jobs)
+    store = EvaluationStore(path=args.store)
+
+    mode = "serially" if args.jobs <= 1 else f"on {args.jobs} worker processes"
+    print(f"Exhaustive sweep: {len(benchmarks)} benchmark(s) x {len(seeds)} seed(s), "
+          f"chunks of {args.chunk_size} design points, running {mode}"
+          + (f" (store warm with {len(store)} evaluations)" if len(store) else ""))
+
+    results = run_sweep(benchmarks, seeds=seeds, executor=executor, store=store,
+                        chunk_size=args.chunk_size)
+    store.flush()
+
+    for result in results:
+        feasible = len(result.feasible_front())
+        print(f"\n{result.benchmark_label} (seed {result.seed}) — "
+              f"space {result.space_size} points, {result.evaluations} evaluated")
+        print(f"  true front: {result.front_size} point(s), {feasible} feasible, "
+              f"hypervolume proxy {result.hypervolume():.3g}")
+        # Ties (distinct configurations with identical objectives) collapse
+        # to one printed line with a multiplicity.
+        counts = Counter(result.front_points())
+        for (accuracy, power, time_ns), multiplicity in sorted(counts.items()):
+            suffix = f"   x{multiplicity} configs" if multiplicity > 1 else ""
+            print(f"    Δacc={accuracy:10.3f}  Δpower={power:10.1f} mW  "
+                  f"Δtime={time_ns:10.1f} ns{suffix}")
+
+    wall_clock = results[0].metadata.get("sweep_wall_clock_s") if results else None
+    if wall_clock is not None:
+        print(f"\nSweep wall-clock: {wall_clock:.2f} s")
+
+    if args.out is not None:
+        payload = [_sweep_result_payload(result) for result in results]
+        out_path = Path(args.out)
+        out_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"\nFronts written to {out_path}")
+
+    stats = store.stats
+    print(f"\nEvaluation store: {len(store)} cached design points, "
+          f"{stats.hits} hits / {stats.lookups} lookups "
+          f"({100 * stats.hit_rate:.0f} % hit rate)"
+          + (f", persisted to {store.path}" if store.path else ""))
+    return 0
 
 
 def _command_list_benchmarks(_: argparse.Namespace) -> int:
@@ -225,6 +323,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explore": _command_explore,
         "compare": _command_compare,
         "campaign": _command_campaign,
+        "sweep": _command_sweep,
         "list-benchmarks": _command_list_benchmarks,
     }
     return commands[args.command](args)

@@ -50,7 +50,15 @@ class CampaignEntry:
 
 @dataclass(frozen=True)
 class CampaignSummary:
-    """Aggregate statistics over the seeds of one benchmark."""
+    """Aggregate statistics over the seeds of one benchmark.
+
+    ``mean_front_size`` is the average size of the Pareto front each run
+    discovered.  ``mean_front_coverage`` and ``mean_hypervolume_ratio``
+    compare those fronts against a reference front (typically the
+    ground-truth front of an exhaustive :func:`~repro.dse.sweep.run_sweep`)
+    and stay ``None`` when no reference was supplied to
+    :meth:`Campaign.summarize`.
+    """
 
     benchmark_label: str
     runs: int
@@ -59,6 +67,9 @@ class CampaignSummary:
     mean_solution_accuracy: float
     mean_feasible_fraction: float
     best_feasible_power_mw: Optional[float]
+    mean_front_size: float = 0.0
+    mean_front_coverage: Optional[float] = None
+    mean_hypervolume_ratio: Optional[float] = None
 
 
 class Campaign:
@@ -178,8 +189,19 @@ class Campaign:
         ]
 
     @staticmethod
-    def summarize(entries: Iterable[CampaignEntry]) -> Dict[str, CampaignSummary]:
-        """Aggregate campaign entries per benchmark label (``{}`` when empty)."""
+    def summarize(entries: Iterable[CampaignEntry],
+                  reference_fronts: Optional[Mapping[str, Sequence]] = None,
+                  ) -> Dict[str, CampaignSummary]:
+        """Aggregate campaign entries per benchmark label (``{}`` when empty).
+
+        ``reference_fronts`` optionally maps benchmark labels to reference
+        Pareto fronts (e.g. ``{result.benchmark_label: result.front}`` from
+        an exhaustive :func:`~repro.dse.sweep.run_sweep`); labels present
+        there gain ``mean_front_coverage`` and ``mean_hypervolume_ratio``
+        scoring every run's discovered front against the reference.
+        """
+        from repro.dse.frontier import front_quality
+
         grouped: Dict[str, List[CampaignEntry]] = {}
         for entry in entries:
             grouped.setdefault(entry.benchmark_label, []).append(entry)
@@ -193,6 +215,15 @@ class Campaign:
             best_values = [
                 record.deltas.power_mw for record in best_records if record is not None
             ]
+            fronts = [entry.result.front() for entry in group]
+            coverage = hypervolume_ratio = None
+            reference = (reference_fronts or {}).get(label)
+            if reference is not None:
+                qualities = [front_quality(front, reference) for front in fronts]
+                coverage = float(np.mean([quality.coverage for quality in qualities]))
+                hypervolume_ratio = float(
+                    np.mean([quality.hypervolume_ratio for quality in qualities])
+                )
             summaries[label] = CampaignSummary(
                 benchmark_label=label,
                 runs=len(group),
@@ -203,5 +234,8 @@ class Campaign:
                     np.mean([entry.result.feasible_fraction() for entry in group])
                 ),
                 best_feasible_power_mw=max(best_values) if best_values else None,
+                mean_front_size=float(np.mean([len(front) for front in fronts])),
+                mean_front_coverage=coverage,
+                mean_hypervolume_ratio=hypervolume_ratio,
             )
         return summaries

@@ -191,6 +191,32 @@ class DesignSpace:
                 for mask in itertools.product((False, True), repeat=self.num_variables):
                     yield DesignPoint(adder, multiplier, mask)
 
+    def point_at(self, index: int) -> DesignPoint:
+        """The ``index``-th point of :meth:`enumerate`, in O(1).
+
+        Lets sweep jobs address disjoint chunks of the space by index range
+        without materialising (or iterating) the whole enumeration.
+        """
+        if not 0 <= index < self.size:
+            raise DesignSpaceError(
+                f"design-point index {index} out of range [0, {self.size})"
+            )
+        combinations = 2 ** self.num_variables
+        adder, rest = divmod(index, self.num_multipliers * combinations)
+        multiplier, mask_value = divmod(rest, combinations)
+        variables = tuple(
+            bool((mask_value >> (self.num_variables - 1 - position)) & 1)
+            for position in range(self.num_variables)
+        )
+        return DesignPoint(adder + 1, multiplier + 1, variables)
+
+    def iter_range(self, start: int, stop: int) -> Iterator[DesignPoint]:
+        """Iterate over the enumeration slice ``[start, stop)`` (clamped)."""
+        if start < 0:
+            raise DesignSpaceError(f"chunk start must be non-negative, got {start}")
+        for index in range(start, min(stop, self.size)):
+            yield self.point_at(index)
+
     def __repr__(self) -> str:
         return (
             f"DesignSpace(benchmark={self._benchmark.name!r}, adders={self.num_adders}, "

@@ -20,7 +20,7 @@ hit is bit-identical to the evaluation it replaces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Iterable, List, Mapping, Optional
 
 import numpy as np
 
@@ -212,11 +212,12 @@ class Evaluator:
         """Measure (Δacc, Δpower, Δtime) for one design point (cached)."""
         self._space.validate(point)
         key = self.store_key(point)
-        record = self._store.get(key)
         # A cached record without outputs (written by an outputs-dropping
-        # sibling) does not satisfy an evaluator that retains outputs:
+        # sibling) does not satisfy an evaluator that retains outputs: the
+        # store counts that lookup as an upgrade, not a hit, and we
         # re-evaluate and upgrade the stored record instead of serving it.
-        if record is not None and (not self._store_outputs or record.outputs is not None):
+        record = self._store.lookup(key, require_outputs=self._store_outputs)
+        if record is not None:
             self._served.add(key.point)
             return record
 
@@ -232,6 +233,34 @@ class Evaluator:
         self._store.put(key, record)
         self._served.add(key.point)
         return record
+
+    def use_store(self, store: EvaluationStore,
+                  store_outputs: Optional[bool] = None) -> "Evaluator":
+        """Rebind this evaluator to another shared store (same context).
+
+        The expensive part of an evaluator is its precise baseline run;
+        sweep chunks reuse one evaluator per evaluation context and attach
+        each job's store through this method instead of rebuilding the
+        evaluator.  Served-point tracking resets — it is per-store.
+        """
+        self._store = store
+        if store_outputs is not None:
+            self._store_outputs = bool(store_outputs)
+        self._served = set()
+        return self
+
+    def evaluate_many(self, points: Iterable[DesignPoint]) -> List[EvaluationRecord]:
+        """Measure a batch of design points (cached), in input order.
+
+        The workhorse of exhaustive sweeps: a chunk of the enumerated
+        design space goes in, one record per point comes out, every
+        evaluation landing in (or served from) the shared store.
+        """
+        return [self.evaluate(point) for point in points]
+
+    def evaluate_index_range(self, start: int, stop: int) -> List[EvaluationRecord]:
+        """Evaluate the enumeration slice ``[start, stop)`` of the space."""
+        return self.evaluate_many(self._space.iter_range(start, stop))
 
     def clear_cache(self) -> None:
         """Drop this evaluator's cached evaluations (e.g. after changing the workload)."""

@@ -77,12 +77,14 @@ class Explorer:
                 deltas=info["deltas"],
                 reward=0.0,
                 cumulative_reward=info["cumulative_reward"],
+                is_baseline=True,
             )
         )
         if callback is not None:
             callback(records[-1])
 
         terminated = False
+        truncated = False
         for step in range(1, self._max_steps + 1):
             action = agent.select_action(observation)
             next_observation, reward, terminated, truncated, info = environment.step(action)
@@ -112,6 +114,7 @@ class Explorer:
             precise_cost=environment.evaluator.precise_cost,
             agent_name=agent.name,
             terminated=terminated,
+            truncated=truncated,
             metadata={
                 "max_steps": self._max_steps,
                 "action_scheme": environment.action_scheme,

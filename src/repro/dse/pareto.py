@@ -4,12 +4,19 @@ The exploration is multi-objective: it trades accuracy degradation
 (minimise) against power and computation-time reduction (maximise).  These
 helpers extract the non-dominated subset of an exploration trace, which is
 what a designer would inspect to pick an operating point.
+
+Extraction is backed by the vectorized engine in
+:mod:`repro.dse.frontier`; this module keeps the historical API
+(``dominates`` / ``pareto_front`` / ``pareto_points``) as thin wrappers.
+The results are bit-identical to the original O(n²) scan (same record
+objects, same order) — only the wall-clock changed.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List
 
+from repro.dse.frontier import ParetoArchive
 from repro.dse.results import StepRecord
 
 __all__ = ["dominates", "pareto_front", "pareto_points"]
@@ -31,18 +38,7 @@ def dominates(first: StepRecord, second: StepRecord) -> bool:
 
 def pareto_front(records: Iterable[StepRecord]) -> List[StepRecord]:
     """Non-dominated records, de-duplicated by design point."""
-    unique: dict = {}
-    for record in records:
-        key = record.point.key()
-        if key not in unique:
-            unique[key] = record
-    candidates: Sequence[StepRecord] = list(unique.values())
-
-    front: List[StepRecord] = []
-    for candidate in candidates:
-        if not any(dominates(other, candidate) for other in candidates if other is not candidate):
-            front.append(candidate)
-    return front
+    return ParetoArchive(records).front()
 
 
 def pareto_points(records: Iterable[StepRecord]) -> List[tuple]:

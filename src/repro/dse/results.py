@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -14,12 +14,21 @@ from repro.metrics.deltas import ObjectiveDeltas
 from repro.operators.catalog import OperatorCatalog
 from repro.operators.energy import RunCost
 
+if TYPE_CHECKING:  # imported lazily at run time to avoid an import cycle
+    from repro.dse.frontier import FrontQuality, ParetoArchive
+
 __all__ = ["StepRecord", "ObjectiveSummary", "ExplorationResult"]
 
 
 @dataclass(frozen=True)
 class StepRecord:
-    """Everything observed at one exploration step."""
+    """Everything observed at one exploration step.
+
+    ``is_baseline`` marks the synthetic step-0 record the explorer emits
+    for the starting configuration before the agent acts — it is part of
+    the trace (series, exports) but not of the agent's achievement, so
+    feasibility summaries exclude it by default.
+    """
 
     step: int
     action: Optional[int]
@@ -28,6 +37,7 @@ class StepRecord:
     reward: float
     cumulative_reward: float
     constraint_violated: bool = False
+    is_baseline: bool = False
 
 
 @dataclass(frozen=True)
@@ -54,6 +64,7 @@ class ExplorationResult:
     precise_cost: RunCost
     agent_name: str = "q-learning"
     terminated: bool = False
+    truncated: bool = False
     metadata: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------ raw series
@@ -105,28 +116,80 @@ class ExplorationResult:
         series = self.accuracy_series()
         return ObjectiveSummary(float(series.min()), float(series[-1]), float(series.max()))
 
-    def best_feasible(self) -> Optional[StepRecord]:
+    def scored_records(self, include_baseline: bool = False) -> List[StepRecord]:
+        """The records feasibility summaries score.
+
+        The synthetic step-0 baseline (the precise starting configuration,
+        zero deltas, trivially feasible) is excluded by default: counting
+        it inflated ``feasible_fraction`` and let ``best_feasible`` return
+        the do-nothing point when every real step was infeasible.  Pass
+        ``include_baseline=True`` for the historical behaviour.
+        """
+        if include_baseline:
+            return list(self.records)
+        return [record for record in self.records if not record.is_baseline]
+
+    def best_feasible(self, include_baseline: bool = False) -> Optional[StepRecord]:
         """The feasible step with the largest combined power + time reduction.
 
         Feasible means the accuracy degradation respects the threshold.  This
         is the record a user would actually deploy; the paper reports the
         last step instead, and both usually coincide when the agent learns.
+        The synthetic step-0 baseline is not a candidate unless
+        ``include_baseline`` is set (see :meth:`scored_records`).
         """
         feasible = [
-            record for record in self.records
+            record for record in self.scored_records(include_baseline)
             if record.deltas.accuracy <= self.thresholds.accuracy
         ]
         if not feasible:
             return None
         return max(feasible, key=lambda record: record.deltas.power_mw + record.deltas.time_ns)
 
-    def feasible_fraction(self) -> float:
-        """Fraction of steps whose accuracy degradation respected the threshold."""
+    def feasible_fraction(self, include_baseline: bool = False) -> float:
+        """Fraction of steps whose accuracy degradation respected the threshold.
+
+        Scores only the agent's own steps by default — the synthetic step-0
+        baseline neither counts as feasible nor enters the denominator (see
+        :meth:`scored_records`).  Returns 0.0 when nothing is scored.
+        """
+        records = self.scored_records(include_baseline)
+        if not records:
+            return 0.0
         within = sum(
-            1 for record in self.records
+            1 for record in records
             if record.deltas.accuracy <= self.thresholds.accuracy
         )
-        return within / len(self.records)
+        return within / len(records)
+
+    # ----------------------------------------------------------- Pareto front
+
+    def pareto_archive(self, include_baseline: bool = False) -> "ParetoArchive":
+        """The trace's non-dominated archive (vectorized extraction).
+
+        Like the feasibility summaries, the synthetic step-0 baseline earns
+        no credit by default: the do-nothing starting point is not something
+        the agent discovered (see :meth:`scored_records`).
+        """
+        from repro.dse.frontier import ParetoArchive
+
+        return ParetoArchive(self.scored_records(include_baseline))
+
+    def front(self, include_baseline: bool = False) -> List[StepRecord]:
+        """The Pareto front of the trace, in first-occurrence order."""
+        return self.pareto_archive(include_baseline).front()
+
+    def front_quality(self, reference_front: Sequence,
+                      include_baseline: bool = False) -> "FrontQuality":
+        """Score this trace's front against a reference (e.g. ground-truth) front.
+
+        ``reference_front`` is any sequence of records — typically the
+        ``front`` of a :class:`~repro.dse.sweep.SweepResult` for the same
+        benchmark and seed.
+        """
+        from repro.dse.frontier import front_quality
+
+        return front_quality(self.front(include_baseline), reference_front)
 
     def selected_operators(self, catalog: OperatorCatalog) -> Dict[str, str]:
         """Names of the adder and multiplier of the solution configuration."""

@@ -4,7 +4,8 @@ This package turns a sweep definition into throughput:
 
 * :mod:`~repro.runtime.jobs` — :class:`ExplorationJob`, a fully picklable
   description of one exploration, plus deterministic expansion of a
-  campaign definition into its job list;
+  campaign definition into its job list; :class:`SweepJob` chunks an
+  exhaustive design-space sweep over the same executors;
 * :mod:`~repro.runtime.executor` — one executor interface with two
   strategies: :class:`SerialExecutor` (inline, the default) and
   :class:`ProcessExecutor` (multiprocessing fan-out with per-job error
@@ -23,8 +24,10 @@ from repro.runtime.jobs import (
     AGENT_NAMES,
     AgentSpec,
     ExplorationJob,
+    SweepJob,
     execute_job,
     expand_jobs,
+    expand_sweep_jobs,
 )
 from repro.runtime.store import (
     EvaluationKey,
@@ -38,7 +41,9 @@ __all__ = [
     "AGENT_NAMES",
     "AgentSpec",
     "ExplorationJob",
+    "SweepJob",
     "expand_jobs",
+    "expand_sweep_jobs",
     "execute_job",
     "Executor",
     "JobOutcome",

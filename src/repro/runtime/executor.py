@@ -30,7 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.runtime.jobs import ExplorationJob, execute_job
-from repro.runtime.store import EvaluationKey, EvaluationStore
+from repro.runtime.store import EvaluationKey, EvaluationStore, StoreStats
 
 __all__ = ["JobOutcome", "Executor", "SerialExecutor", "ProcessExecutor"]
 
@@ -90,27 +90,26 @@ class SerialExecutor(Executor):
 def _run_job_in_worker(job: ExplorationJob,
                        snapshot_blob: bytes,
                        store_outputs: bool) -> Tuple[Optional[object], Optional[str],
-                                                     Dict[EvaluationKey, object], int, int]:
+                                                     Dict[EvaluationKey, object],
+                                                     "StoreStats"]:
     """Worker entry point: run one job against a private store copy.
 
     The snapshot arrives pre-pickled (``snapshot_blob``) so the parent
     serialises it once per wave instead of once per submitted job.  Returns
-    ``(result, error, new_entries, hits, misses)`` — only records absent
-    from the incoming snapshot travel back, keeping the merge payload
-    proportional to the new work actually done.
+    ``(result, error, new_entries, stats)`` — only records absent from the
+    incoming snapshot travel back, keeping the merge payload proportional
+    to the new work actually done.
     """
     snapshot: Dict[EvaluationKey, object] = pickle.loads(snapshot_blob)
     store = EvaluationStore(records=snapshot)
     try:
         result = execute_job(job, store=store, store_outputs=store_outputs)
     except Exception:
-        stats = store.stats
-        return None, traceback.format_exc(), {}, stats.hits, stats.misses
+        return None, traceback.format_exc(), {}, store.stats
     new_entries = {
         key: record for key, record in store.snapshot().items() if key not in snapshot
     }
-    stats = store.stats
-    return result, None, new_entries, stats.hits, stats.misses
+    return result, None, new_entries, store.stats
 
 
 class ProcessExecutor(Executor):
@@ -196,11 +195,11 @@ class ProcessExecutor(Executor):
         if isinstance(future, str):  # submission failed (see _submit)
             return JobOutcome(job=job, error=future)
         try:
-            result, error, new_entries, hits, misses = future.result()
+            result, error, new_entries, stats = future.result()
         except Exception:  # pickling of arguments/results failed in transit
             return JobOutcome(job=job, error=traceback.format_exc(),
                               duration_s=time.perf_counter() - started)
         store.merge(new_entries)
-        store.record_external_lookups(hits, misses)
+        store.record_external_lookups(stats.hits, stats.misses, stats.upgrades)
         return JobOutcome(job=job, result=result, error=error,
                           duration_s=time.perf_counter() - started)

@@ -29,7 +29,15 @@ if TYPE_CHECKING:  # imported lazily at run time to keep import edges acyclic
     from repro.dse.results import ExplorationResult, StepRecord
     from repro.runtime.store import EvaluationStore
 
-__all__ = ["AgentSpec", "ExplorationJob", "expand_jobs", "execute_job", "AGENT_NAMES"]
+__all__ = [
+    "AgentSpec",
+    "ExplorationJob",
+    "SweepJob",
+    "expand_jobs",
+    "expand_sweep_jobs",
+    "execute_job",
+    "AGENT_NAMES",
+]
 
 #: Agent families :meth:`AgentSpec.build` can construct by name.
 AGENT_NAMES = ("q-learning", "sarsa", "random")
@@ -179,6 +187,100 @@ def expand_jobs(benchmarks: Mapping[str, "Benchmark"],
     return jobs
 
 
+@dataclass(frozen=True)
+class SweepJob:
+    """One chunk of an exhaustive design-space sweep, as shippable data.
+
+    Addresses the enumeration slice ``[start, stop)`` of the benchmark's
+    design space (see :meth:`~repro.dse.design_space.DesignSpace.point_at`),
+    so a sweep fans out over executors exactly like exploration jobs: every
+    chunk evaluates its points against the shared store and returns its
+    chunk-local Pareto front for the driver to merge.
+
+    Attributes
+    ----------
+    benchmark_label:
+        Sweep-level label of the benchmark configuration.
+    benchmark:
+        The benchmark instance (picklable by construction).
+    seed:
+        Workload seed the chunk is evaluated under.
+    start, stop:
+        Enumeration index range of the chunk (``stop`` is clamped to the
+        space size at execution time).
+    signed_accuracy, restrict_to_benchmark_widths:
+        Evaluator settings; must match across the chunks of one sweep.
+    """
+
+    benchmark_label: str
+    benchmark: "Benchmark"
+    seed: int
+    start: int
+    stop: int
+    signed_accuracy: bool = False
+    restrict_to_benchmark_widths: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "start", int(self.start))
+        object.__setattr__(self, "stop", int(self.stop))
+        if self.start < 0 or self.stop <= self.start:
+            raise ConfigurationError(
+                f"sweep chunk requires 0 <= start < stop, got [{self.start}, {self.stop})"
+            )
+
+    def describe(self) -> str:
+        """Short human-readable identity, used in error reports and logs."""
+        return f"{self.benchmark_label}[sweep {self.start}:{self.stop}, seed={self.seed}]"
+
+
+def expand_sweep_jobs(benchmarks: Mapping[str, "Benchmark"],
+                      seeds: Sequence[int] = (0,),
+                      chunk_size: int = 256,
+                      signed_accuracy: bool = False,
+                      restrict_to_benchmark_widths: bool = True) -> List[SweepJob]:
+    """Deterministically expand a sweep definition into its chunk jobs.
+
+    The order is benchmark (mapping order) x seed x chunk (ascending index
+    range), so the same definition always yields the same list.  Chunk
+    boundaries come from the design-space size under the default catalog
+    (restricted to the benchmark's widths unless disabled) — no benchmark
+    execution happens here.
+    """
+    if not benchmarks:
+        raise ExplorationError("a sweep requires at least one benchmark")
+    seeds = tuple(int(seed) for seed in seeds)
+    if not seeds:
+        raise ExplorationError("a sweep requires at least one seed")
+    if chunk_size <= 0:
+        raise ConfigurationError(f"chunk_size must be positive, got {chunk_size}")
+
+    from repro.dse.design_space import DesignSpace
+    from repro.operators.catalog import default_catalog
+
+    catalog = default_catalog()
+    jobs: List[SweepJob] = []
+    for label, benchmark in benchmarks.items():
+        sized = catalog
+        if restrict_to_benchmark_widths:
+            sized = catalog.restrict_widths(benchmark.add_width, benchmark.mul_width)
+        size = DesignSpace(benchmark, sized).size
+        for seed in seeds:
+            for start in range(0, size, chunk_size):
+                jobs.append(
+                    SweepJob(
+                        benchmark_label=label,
+                        benchmark=benchmark,
+                        seed=seed,
+                        start=start,
+                        stop=min(start + chunk_size, size),
+                        signed_accuracy=signed_accuracy,
+                        restrict_to_benchmark_widths=restrict_to_benchmark_widths,
+                    )
+                )
+    return jobs
+
+
 def execute_job(job: ExplorationJob,
                 store: Optional["EvaluationStore"] = None,
                 store_outputs: bool = False,
@@ -189,7 +291,16 @@ def execute_job(job: ExplorationJob,
     points and receives every new evaluation; ``store_outputs`` controls
     whether raw output arrays are retained in the cached records (off by
     default — campaigns only need the objective deltas).
+
+    :class:`SweepJob` chunks funnel through here too, so both executors run
+    sweeps and explorations interchangeably; they return a
+    :class:`~repro.dse.sweep.SweepChunk` instead of an exploration result.
     """
+    if isinstance(job, SweepJob):
+        from repro.dse.sweep import execute_sweep_job
+
+        return execute_sweep_job(job, store=store, store_outputs=store_outputs)
+
     from repro.dse.environment import AxcDseEnv
     from repro.dse.explorer import Explorer
 

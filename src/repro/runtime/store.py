@@ -155,14 +155,22 @@ def _decode_key(text: str) -> EvaluationKey:
 
 
 class StoreStats(NamedTuple):
-    """Hit/miss counters of one store (including merged worker counters)."""
+    """Hit/miss counters of one store (including merged worker counters).
+
+    ``upgrades`` counts lookups that found a record but could not serve it
+    because the caller required raw outputs and the cached record (written
+    by an outputs-dropping sibling) carried none — the caller re-evaluated
+    and upgraded the entry.  Those lookups did not save an evaluation, so
+    they count against the hit rate instead of inflating it.
+    """
 
     hits: int
     misses: int
+    upgrades: int = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.upgrades
 
     @property
     def hit_rate(self) -> float:
@@ -193,6 +201,7 @@ class EvaluationStore:
         self._path = Path(path) if path is not None else None
         self._hits = 0
         self._misses = 0
+        self._upgrades = 0
         if self._path is not None and self._path.exists():
             self._load()
 
@@ -214,7 +223,7 @@ class EvaluationStore:
 
     @property
     def stats(self) -> StoreStats:
-        return StoreStats(hits=self._hits, misses=self._misses)
+        return StoreStats(hits=self._hits, misses=self._misses, upgrades=self._upgrades)
 
     @property
     def hit_rate(self) -> float:
@@ -228,11 +237,26 @@ class EvaluationStore:
 
     def get(self, key: EvaluationKey) -> Optional["EvaluationRecord"]:
         """The cached record for ``key``, or ``None`` (counts hits/misses)."""
+        return self.lookup(key)
+
+    def lookup(self, key: EvaluationKey,
+               require_outputs: bool = False) -> Optional["EvaluationRecord"]:
+        """Like :meth:`get`, but only serve records the caller can use.
+
+        With ``require_outputs`` a cached record without raw outputs is not
+        served: the lookup counts as an *upgrade* (the caller re-evaluates
+        and overwrites the entry) rather than a hit, so
+        :attr:`StoreStats.hit_rate` only reflects lookups that actually
+        saved an evaluation.
+        """
         record = self._records.get(key)
         if record is None:
             self._misses += 1
-        else:
-            self._hits += 1
+            return None
+        if require_outputs and record.outputs is None:
+            self._upgrades += 1
+            return None
+        self._hits += 1
         return record
 
     def put(self, key: EvaluationKey, record: "EvaluationRecord") -> None:
@@ -251,6 +275,7 @@ class EvaluationStore:
         self._records.clear()
         self._hits = 0
         self._misses = 0
+        self._upgrades = 0
 
     # -------------------------------------------------- snapshot / merge-back
 
@@ -273,10 +298,11 @@ class EvaluationStore:
                 added += 1
         return added
 
-    def record_external_lookups(self, hits: int, misses: int) -> None:
+    def record_external_lookups(self, hits: int, misses: int, upgrades: int = 0) -> None:
         """Fold the hit/miss counters of a merged worker store into this one."""
         self._hits += int(hits)
         self._misses += int(misses)
+        self._upgrades += int(upgrades)
 
     # ------------------------------------------------------------ persistence
 
@@ -331,5 +357,5 @@ class EvaluationStore:
         backend = str(self._path) if self._path else "memory"
         return (
             f"EvaluationStore(entries={len(self._records)}, backend={backend!r}, "
-            f"hits={self._hits}, misses={self._misses})"
+            f"hits={self._hits}, misses={self._misses}, upgrades={self._upgrades})"
         )

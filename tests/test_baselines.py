@@ -57,6 +57,25 @@ class TestBaselineRecorder:
         assert result.num_steps == 2
         assert result.agent_name == "test"
 
+    def test_seed_evaluation_can_be_marked_baseline(self, matmul_evaluator, thresholds):
+        recorder = BaselineRecorder(matmul_evaluator, thresholds, "test")
+        space = matmul_evaluator.design_space
+        recorder.evaluate(space.initial_point(), is_baseline=True)
+        recorder.evaluate(space.most_aggressive_point())
+        result = recorder.result()
+        assert [record.is_baseline for record in result.records] == [True, False]
+
+    @pytest.mark.parametrize("explorer_class", [
+        HillClimbingExplorer, SimulatedAnnealingExplorer,
+    ])
+    def test_seeded_searches_mark_their_do_nothing_start(self, matmul_evaluator,
+                                                         explorer_class):
+        # Hill climbing and annealing seed at the precise configuration; like
+        # the explorer's step 0, that record earns no feasibility credit.
+        result = explorer_class(matmul_evaluator, max_evaluations=20, seed=0).run()
+        assert result.records[0].is_baseline
+        assert all(not record.is_baseline for record in result.records[1:])
+
     def test_result_appends_best_point_as_solution(self, matmul_evaluator, thresholds):
         recorder = BaselineRecorder(matmul_evaluator, thresholds, "test")
         space = matmul_evaluator.design_space

@@ -22,6 +22,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explore", "--benchmark", "nothing"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.benchmarks == ["dotproduct"]
+        assert args.jobs == 1
+        assert args.chunk_size == 256
+        assert args.store is None and args.out is None
+
 
 class TestCommands:
     def test_list_benchmarks(self, capsys):
@@ -55,3 +62,23 @@ class TestCommands:
         assert "q-learning" in output
         assert "simulated-annealing" in output
         assert "genetic" in output
+
+    def test_sweep_prints_true_front_and_writes_json(self, capsys, tmp_path):
+        out = tmp_path / "fronts.json"
+        store = tmp_path / "sweep.sqlite"
+        assert main(["sweep", "--benchmarks", "dotproduct", "--chunk-size", "96",
+                     "--store", str(store), "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "true front:" in output
+        assert "288 evaluated" in output
+        assert store.exists() and out.exists()
+
+        import json
+        payload = json.loads(out.read_text())
+        assert payload[0]["space_size"] == 288
+        assert payload[0]["front_size"] == len(payload[0]["front"])
+
+        # Re-sweeping against the persisted store serves everything cached.
+        assert main(["sweep", "--benchmarks", "dotproduct", "--chunk-size", "96",
+                     "--store", str(store)]) == 0
+        assert "(100 % hit rate)" in capsys.readouterr().out

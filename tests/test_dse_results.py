@@ -13,7 +13,8 @@ from repro.metrics import ObjectiveDeltas
 from repro.operators.energy import RunCost
 
 
-def _record(step, accuracy, power, time, reward=0.0, cumulative=0.0, adder=1, multiplier=1):
+def _record(step, accuracy, power, time, reward=0.0, cumulative=0.0, adder=1, multiplier=1,
+            is_baseline=False):
     return StepRecord(
         step=step,
         action=None if step == 0 else 0,
@@ -21,6 +22,7 @@ def _record(step, accuracy, power, time, reward=0.0, cumulative=0.0, adder=1, mu
         deltas=ObjectiveDeltas(accuracy=accuracy, power_mw=power, time_ns=time),
         reward=reward,
         cumulative_reward=cumulative,
+        is_baseline=is_baseline,
     )
 
 
@@ -85,6 +87,34 @@ class TestExplorationResult:
         ])
         assert result.feasible_fraction() == pytest.approx(0.5)
 
+    def test_feasible_fraction_excludes_synthetic_baseline(self):
+        result = _result([
+            _record(0, 0.0, 0, 0, is_baseline=True),  # do-nothing start, feasible
+            _record(1, 20.0, 0, 0),
+            _record(2, 5.0, 0, 0),
+            _record(3, 30.0, 0, 0),
+        ])
+        # The trivially feasible step 0 neither counts nor enters the
+        # denominator; the historical figure remains available on request.
+        assert result.feasible_fraction() == pytest.approx(1 / 3)
+        assert result.feasible_fraction(include_baseline=True) == pytest.approx(0.5)
+
+    def test_best_feasible_ignores_synthetic_baseline(self):
+        result = _result([
+            _record(0, 0.0, 0.0, 0.0, is_baseline=True),
+            _record(1, 50.0, 100.0, 100.0),  # infeasible
+        ])
+        # Previously the do-nothing starting point was reported as "best
+        # feasible" even though every real step violated the constraint.
+        assert result.best_feasible() is None
+        baseline = result.best_feasible(include_baseline=True)
+        assert baseline is not None and baseline.step == 0
+
+    def test_feasible_fraction_of_baseline_only_trace(self):
+        result = _result([_record(0, 0.0, 0, 0, is_baseline=True)])
+        assert result.feasible_fraction() == 0.0
+        assert result.best_feasible() is None
+
     def test_average_reward_windows(self):
         records = [_record(i, 0, 0, 0, reward=float(i % 2)) for i in range(10)]
         result = _result(records)
@@ -106,6 +136,31 @@ class TestExplorationResult:
         assert row["adder"] == restricted.adder(2).name
         assert row["multiplier"] == restricted.multiplier(3).name
         assert row["power_mw"].solution == 2.0
+
+
+class TestExplorerTraceFlags:
+    def test_step0_is_marked_baseline_and_truncation_recorded(self, matmul_env):
+        from repro.agents import RandomAgent
+        from repro.dse import Explorer
+
+        agent = RandomAgent(num_actions=matmul_env.action_space.n, seed=0)
+        result = Explorer(matmul_env, agent, max_steps=15).run(seed=0)
+        assert result.records[0].is_baseline
+        assert all(not record.is_baseline for record in result.records[1:])
+        assert result.truncated is False  # budget exhaustion is not truncation
+
+    def test_truncation_is_distinguishable_from_budget_exhaustion(self, small_matmul):
+        from repro.agents import RandomAgent
+        from repro.dse import AxcDseEnv, Explorer
+        from repro.gymlite.wrappers import TimeLimit
+
+        environment = TimeLimit(AxcDseEnv(small_matmul, evaluation_seed=0),
+                                max_episode_steps=5)
+        agent = RandomAgent(num_actions=environment.action_space.n, seed=0)
+        result = Explorer(environment, agent, max_steps=50).run(seed=0)
+        assert result.truncated is True
+        assert result.terminated is False
+        assert result.num_steps == 6  # baseline + the 5 steps the wrapper allowed
 
 
 class TestPareto:

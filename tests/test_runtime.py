@@ -133,10 +133,19 @@ class TestEvaluationStore:
 
         reloaded = EvaluationStore(path=path)
         assert len(reloaded) == 1
+        # An outputs-retaining evaluator cannot be served the outputs-less
+        # record: that lookup is an upgrade (re-evaluation), not a hit.
         warmed = Evaluator(MatMulBenchmark(rows=4, inner=4, cols=4), seed=0, store=reloaded)
         served = warmed.evaluate(warmed.design_space.most_aggressive_point())
         assert served.deltas == expected.deltas
         assert served.approx_cost == expected.approx_cost
+        assert reloaded.stats.hits == 0
+        assert reloaded.stats.upgrades == 1
+        # A sibling that also drops outputs is satisfied by the upgraded
+        # entry: a genuine hit.
+        lighter = Evaluator(MatMulBenchmark(rows=4, inner=4, cols=4), seed=0,
+                            store=reloaded, store_outputs=False)
+        lighter.evaluate(lighter.design_space.most_aggressive_point())
         assert reloaded.stats.hits == 1
 
     def test_flush_after_clear_does_not_resurrect_records(self, tmp_path, small_matmul):
