@@ -21,6 +21,11 @@ from scratch:
 * :mod:`repro.runtime` — the campaign runtime: picklable exploration jobs,
   serial / multi-process executors, and the shared evaluation store that
   lets sweeps reuse design-point measurements across seeds and agents;
+* :mod:`repro.experiments` — the declarative experiment API: serializable
+  :class:`ExperimentSpec` documents (benchmarks x agents x seeds x
+  thresholds x runtime), the unified agent registry naming RL agents and
+  metaheuristic baselines alike, and the single :func:`run_experiment`
+  facade returning a serializable :class:`ExperimentReport`;
 * :mod:`repro.analysis` — trend lines, reward curves and table rendering
   used to regenerate the paper's figures and tables.
 
@@ -33,6 +38,20 @@ Quickstart::
     agent = QLearningAgent(num_actions=env.action_space.n)
     result = explore(env, agent, max_steps=2000, seed=0)
     print(result.table3_row(env.evaluator.catalog))
+
+Declarative quickstart (the same experiment as a shareable document)::
+
+    from repro import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec.from_dict({
+        "kind": "campaign",
+        "benchmarks": ["matmul_10x10"],
+        "agents": ["q-learning", "hill-climbing"],
+        "seeds": [0, 1],
+        "max_steps": 2000,
+    })
+    report = run_experiment(spec)
+    print(report.to_json())
 """
 
 from repro.agents import QLearningAgent, RandomAgent, SarsaAgent
@@ -56,6 +75,18 @@ from repro.dse import (
     front_quality,
     run_sweep,
 )
+from repro.experiments import (
+    BenchmarkSpec,
+    ExperimentAgentSpec,
+    ExperimentEntry,
+    ExperimentReport,
+    ExperimentSpec,
+    RuntimeSpec,
+    ThresholdSpec,
+    agent_names,
+    register_agent,
+    run_experiment,
+)
 from repro.operators import OperatorCatalog, default_catalog
 from repro.runtime import (
     AgentSpec,
@@ -70,7 +101,7 @@ from repro.runtime import (
     expand_sweep_jobs,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -109,4 +140,14 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "EvaluationStore",
+    "BenchmarkSpec",
+    "ExperimentAgentSpec",
+    "ThresholdSpec",
+    "RuntimeSpec",
+    "ExperimentSpec",
+    "ExperimentEntry",
+    "ExperimentReport",
+    "run_experiment",
+    "register_agent",
+    "agent_names",
 ]

@@ -20,7 +20,13 @@ from repro.benchmarks.matmul import MatMulBenchmark
 from repro.benchmarks.sobel import SobelBenchmark
 from repro.errors import ConfigurationError, UnknownBenchmarkError
 
-__all__ = ["register", "create", "available", "paper_benchmarks"]
+__all__ = [
+    "register",
+    "create",
+    "available",
+    "paper_benchmarks",
+    "PAPER_BENCHMARK_PARAMS",
+]
 
 _FACTORIES: Dict[str, Callable[..., Benchmark]] = {}
 
@@ -48,13 +54,22 @@ def available() -> Tuple[str, ...]:
     return tuple(sorted(_FACTORIES))
 
 
+#: The paper's Table-III configurations as (registry name, factory kwargs);
+#: label -> declarative recipe, shared with the experiment spec parser so
+#: ``"matmul_50x50"`` is addressable wherever a benchmark can be named.
+PAPER_BENCHMARK_PARAMS: Dict[str, Tuple[str, Dict[str, int]]] = {
+    "matmul_10x10": ("matmul", {"rows": 10, "inner": 10, "cols": 10}),
+    "matmul_50x50": ("matmul", {"rows": 50, "inner": 50, "cols": 50}),
+    "fir_100": ("fir", {"num_samples": 100}),
+    "fir_200": ("fir", {"num_samples": 200}),
+}
+
+
 def paper_benchmarks() -> Dict[str, Benchmark]:
     """The four benchmark configurations evaluated in the paper (Table III)."""
     return {
-        "matmul_10x10": MatMulBenchmark(rows=10, inner=10, cols=10),
-        "matmul_50x50": MatMulBenchmark(rows=50, inner=50, cols=50),
-        "fir_100": FirBenchmark(num_samples=100),
-        "fir_200": FirBenchmark(num_samples=200),
+        label: create(name, **params)
+        for label, (name, params) in PAPER_BENCHMARK_PARAMS.items()
     }
 
 

@@ -3,7 +3,9 @@
 ``repro-axc`` (or ``python -m repro.cli``) exposes the main workflows:
 
 * ``characterize`` — print the reproduced Tables I and II;
-* ``explore`` — run one RL exploration on a benchmark and print its
+* ``run`` — execute a declarative experiment spec (a JSON document, see
+  :mod:`repro.experiments`), with dotted ``--set key=value`` overrides;
+* ``explore`` — run one exploration on a benchmark and print its
   Table-III style summary;
 * ``compare`` — run the RL agent and the baselines on the same benchmark;
 * ``campaign`` — sweep benchmarks x seeds x agents through the campaign
@@ -11,7 +13,18 @@
   evaluation store (``--store``);
 * ``sweep`` — exhaustively evaluate whole design spaces (chunked, same
   runtime) and print each benchmark's ground-truth Pareto front;
-* ``list-benchmarks`` — show the registered benchmarks.
+* ``list-benchmarks`` / ``list-agents`` — show the registries.
+
+``explore``, ``compare``, ``campaign`` and ``sweep`` are thin builders:
+each constructs an :class:`~repro.experiments.spec.ExperimentSpec` and
+calls the same :func:`~repro.experiments.runner.run_experiment` facade
+that ``run`` uses, so a flag invocation and its equivalent spec document
+produce identical results.
+
+Benchmarks are named by registry name (``matmul``), by a parameterized
+form (``matmul:rows=50,inner=50,cols=50``) or by a paper label
+(``matmul_50x50``).  Configuration mistakes — unknown benchmarks or
+agents, malformed specs — print a one-line error and exit with status 2.
 """
 
 from __future__ import annotations
@@ -21,13 +34,8 @@ import json
 import sys
 from collections import Counter
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.agents import (
-    GeneticExplorer,
-    HillClimbingExplorer,
-    SimulatedAnnealingExplorer,
-)
 from repro.analysis import (
     render_comparison,
     render_operator_table,
@@ -35,19 +43,51 @@ from repro.analysis import (
     reward_curve,
     trace_trends,
 )
-from repro.benchmarks import available, create
-from repro.dse import AxcDseEnv, Campaign, CampaignEntry, Explorer, run_sweep
+from repro.benchmarks import available
+from repro.benchmarks.registry import PAPER_BENCHMARK_PARAMS
+from repro.errors import ConfigurationError, ReproError, UnknownBenchmarkError
+from repro.experiments import (
+    BenchmarkSpec,
+    ExperimentAgentSpec,
+    ExperimentReport,
+    ExperimentSpec,
+    RuntimeSpec,
+    agent_names,
+    apply_overrides,
+    run_experiment,
+)
+from repro.experiments.registry import agent_family
 from repro.operators import default_catalog
-from repro.runtime import (
-    AGENT_NAMES,
-    AgentSpec,
-    EvaluationStore,
-    ProcessExecutor,
-    SerialExecutor,
-    expand_jobs,
+
+__all__ = ["main", "build_parser", "DEFAULT_COMPARE_AGENTS"]
+
+#: The explorer line-up of the ``compare`` subcommand (the paper's RL
+#: agents followed by the classic metaheuristic baselines).
+DEFAULT_COMPARE_AGENTS = (
+    "q-learning",
+    "sarsa",
+    "random",
+    "simulated-annealing",
+    "hill-climbing",
+    "genetic",
 )
 
-__all__ = ["main", "build_parser"]
+
+def _benchmark_choices() -> str:
+    return (
+        f"registered: {', '.join(sorted(available()))}; parameterized form: "
+        f"'name:key=value,...' (e.g. matmul:rows=50,inner=50,cols=50); "
+        f"paper labels: {', '.join(PAPER_BENCHMARK_PARAMS)}"
+    )
+
+
+def _benchmark_argument(text: str) -> str:
+    """Argparse type validating a benchmark reference (returned verbatim)."""
+    try:
+        BenchmarkSpec.parse(text)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(f"{exc} ({_benchmark_choices()})")
+    return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,36 +106,54 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("--no-measure", action="store_true",
                               help="print only the published characterisation")
 
-    explore_cmd = subparsers.add_parser(
-        "explore", help="run one RL exploration and print its Table-III summary"
+    run_cmd = subparsers.add_parser(
+        "run", help="execute a declarative experiment spec (JSON document)"
     )
-    explore_cmd.add_argument("--benchmark", default="matmul", choices=sorted(available()),
-                             help="benchmark to explore")
+    run_cmd.add_argument("spec", metavar="SPEC.json",
+                         help="path to the experiment spec document")
+    run_cmd.add_argument("--set", dest="overrides", action="append", default=[],
+                         metavar="KEY=VALUE",
+                         help="dotted override applied to the spec before running "
+                              "(e.g. --set runtime.jobs=4 --set max_steps=500 "
+                              "--set benchmarks.0.params.rows=20); repeatable")
+    run_cmd.add_argument("--out", default=None, metavar="PATH",
+                         help="write the full experiment report as JSON")
+
+    explore_cmd = subparsers.add_parser(
+        "explore", help="run one exploration and print its Table-III summary"
+    )
+    explore_cmd.add_argument("--benchmark", default="matmul", type=_benchmark_argument,
+                             help=f"benchmark to explore ({_benchmark_choices()})")
     explore_cmd.add_argument("--steps", type=int, default=2000, help="maximum exploration steps")
     explore_cmd.add_argument("--seed", type=int, default=0, help="exploration seed")
     explore_cmd.add_argument("--agent", default="q-learning",
-                             choices=["q-learning", "sarsa", "random"], help="agent to use")
+                             choices=list(agent_names()), help="agent to use")
     explore_cmd.add_argument("--figures", action="store_true",
                              help="also print trend lines (Figs 2-3) and the reward curve (Fig 4)")
 
     compare = subparsers.add_parser(
         "compare", help="compare the RL agent against the baseline explorers"
     )
-    compare.add_argument("--benchmark", default="matmul", choices=sorted(available()))
+    compare.add_argument("--benchmark", default="matmul", type=_benchmark_argument,
+                         help=f"benchmark to compare on ({_benchmark_choices()})")
     compare.add_argument("--steps", type=int, default=1000,
                          help="RL steps / baseline evaluation budget")
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--agents", nargs="+", default=list(DEFAULT_COMPARE_AGENTS),
+                         choices=list(agent_names()),
+                         help="explorers to score against each other")
 
     campaign = subparsers.add_parser(
         "campaign",
         help="sweep benchmarks x seeds x agents through the campaign runtime",
     )
     campaign.add_argument("--benchmarks", nargs="+", default=["matmul"],
-                          choices=sorted(available()), help="benchmarks to sweep")
+                          type=_benchmark_argument,
+                          help=f"benchmarks to sweep ({_benchmark_choices()})")
     campaign.add_argument("--seeds", nargs="+", type=int, default=[0],
                           help="explicit workload/exploration seeds")
     campaign.add_argument("--agents", nargs="+", default=["q-learning"],
-                          choices=list(AGENT_NAMES), help="agent families to run")
+                          choices=list(agent_names()), help="agent families to run")
     campaign.add_argument("--steps", type=int, default=1000,
                           help="exploration steps per run")
     campaign.add_argument("--jobs", type=int, default=1,
@@ -108,7 +166,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="exhaustively evaluate design spaces and print the ground-truth Pareto fronts",
     )
     sweep.add_argument("--benchmarks", nargs="+", default=["dotproduct"],
-                       choices=sorted(available()), help="benchmarks to sweep exhaustively")
+                       type=_benchmark_argument,
+                       help=f"benchmarks to sweep exhaustively ({_benchmark_choices()})")
     sweep.add_argument("--seeds", nargs="+", type=int, default=[0],
                        help="workload seeds to sweep each benchmark under")
     sweep.add_argument("--jobs", type=int, default=1,
@@ -121,11 +180,144 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the true fronts as JSON")
 
     subparsers.add_parser("list-benchmarks", help="list the registered benchmarks")
+    subparsers.add_parser("list-agents", help="list the registered agent families")
     return parser
 
 
-def _build_agent(name: str, environment: AxcDseEnv, steps: int, seed: int):
-    return AgentSpec(name).build(environment, seed=seed, max_steps=steps)
+# ------------------------------------------------------------ shared printers
+
+
+def _print_failures(report: ExperimentReport) -> None:
+    for entry in report.failures:
+        identity = entry.describe or f"{entry.benchmark_label}[seed={entry.seed}]"
+        print(f"\nFAILED {identity}:\n{entry.error}")
+
+
+def _print_store_line(report: ExperimentReport) -> None:
+    store = report.store
+    print(f"\nEvaluation store: {store['size']} cached design points, "
+          f"{store['hits']} hits / {store['lookups']} lookups "
+          f"({100 * store['hit_rate']:.0f} % hit rate)"
+          + (f", persisted to {store['path']}" if store["path"] else ""))
+
+
+def _print_explore(report: ExperimentReport, figures: bool = False) -> int:
+    if report.failures:
+        _print_failures(report)
+        return 1
+    result = report.entries[0].result
+    print(f"Exploration of {result.benchmark_name} with {result.agent_name} "
+          f"({result.num_steps} steps, thresholds: {result.thresholds})")
+    print(render_table3({result.benchmark_name: result}, default_catalog()))
+
+    if figures:
+        trends = trace_trends(result)
+        print("\nTrend lines (Figures 2-3):")
+        for objective, trend in trends.items():
+            print(f"  {objective}: slope={trend.slope:.6f} intercept={trend.intercept:.3f}")
+        curve = reward_curve(result)
+        print("\nAverage reward per 100 steps (Figure 4):")
+        print("  " + ", ".join(f"{value:.2f}" for value in curve.averages))
+    return 0
+
+
+def _print_compare(report: ExperimentReport) -> int:
+    _print_failures(report)
+    results = report.results()
+    if results:
+        first = results[0]
+        print(f"Explorer comparison on {first.benchmark_name} "
+              f"(thresholds: {first.thresholds})")
+        print(render_comparison(results))
+    return 1 if report.failures else 0
+
+
+def _print_campaign_summaries(report: ExperimentReport) -> None:
+    for agent_name, summaries in report.summarize().items():
+        print(f"\nAgent {agent_name} — per-benchmark aggregates over seeds")
+        for label, summary in summaries.items():
+            best = ("-" if summary.best_feasible_power_mw is None
+                    else f"{summary.best_feasible_power_mw:.1f} mW")
+            print(f"  {label:14s} runs={summary.runs}  "
+                  f"mean solution Δpower={summary.mean_solution_power_mw:.1f} mW  "
+                  f"Δtime={summary.mean_solution_time_ns:.1f} ns  "
+                  f"Δacc={summary.mean_solution_accuracy:.1f}  "
+                  f"feasible={100 * summary.mean_feasible_fraction:.0f} %  "
+                  f"front={summary.mean_front_size:.1f} pts  "
+                  f"best feasible Δpower={best}")
+
+
+def _print_campaign(report: ExperimentReport) -> int:
+    _print_failures(report)
+    _print_campaign_summaries(report)
+    _print_store_line(report)
+    return 1 if report.failures else 0
+
+
+def _print_sweep_fronts(report: ExperimentReport) -> None:
+    for result in report.sweep_results():
+        feasible = len(result.feasible_front())
+        print(f"\n{result.benchmark_label} (seed {result.seed}) — "
+              f"space {result.space_size} points, {result.evaluations} evaluated")
+        print(f"  true front: {result.front_size} point(s), {feasible} feasible, "
+              f"hypervolume proxy {result.hypervolume():.3g}")
+        # Ties (distinct configurations with identical objectives) collapse
+        # to one printed line with a multiplicity.
+        counts = Counter(result.front_points())
+        for (accuracy, power, time_ns), multiplicity in sorted(counts.items()):
+            suffix = f"   x{multiplicity} configs" if multiplicity > 1 else ""
+            print(f"    Δacc={accuracy:10.3f}  Δpower={power:10.1f} mW  "
+                  f"Δtime={time_ns:10.1f} ns{suffix}")
+
+    sweep_results = report.sweep_results()
+    wall_clock = (sweep_results[0].metadata.get("sweep_wall_clock_s")
+                  if sweep_results else None)
+    if wall_clock is not None:
+        print(f"\nSweep wall-clock: {wall_clock:.2f} s")
+
+
+def _print_report(report: ExperimentReport) -> int:
+    """Kind-appropriate rendering shared by ``run`` and the legacy builders."""
+    kind = report.spec.kind
+    if kind == "explore":
+        status = _print_explore(report)
+        _print_store_line(report)
+        return status
+    if kind == "compare":
+        status = _print_compare(report)
+        _print_store_line(report)
+        return status
+    if kind == "sweep":
+        _print_sweep_fronts(report)
+        _print_store_line(report)
+        return 0
+    return _print_campaign(report)
+
+
+def _execution_mode(runtime: RuntimeSpec) -> str:
+    if runtime.executor == "serial":
+        return "serially"
+    return f"on {runtime.jobs} worker processes"
+
+
+def _warm_suffix(store) -> str:
+    return f" (store warm with {len(store)} evaluations)" if len(store) else ""
+
+
+def _expansion_summary(spec: ExperimentSpec, store) -> str:
+    """The one-line expansion header shared by `run` and the legacy builders."""
+    if spec.kind == "sweep":
+        return (f"{len(spec.benchmarks)} benchmark(s) x {len(spec.seeds)} seed(s), "
+                f"chunks of {spec.runtime.chunk_size} design points, running "
+                f"{_execution_mode(spec.runtime)}{_warm_suffix(store)}")
+    runs = len(spec.benchmarks) * len(spec.agents) * len(spec.seeds)
+    return (f"{len(spec.benchmarks)} benchmark(s) x {len(spec.agents)} agent(s) x "
+            f"{len(spec.seeds)} seed(s) = {runs} exploration(s), "
+            f"{spec.max_steps} steps each, running "
+            f"{_execution_mode(spec.runtime)}{_warm_suffix(store)}")
+
+
+# -------------------------------------------------------------------- commands
 
 
 def _command_characterize(args: argparse.Namespace) -> int:
@@ -140,193 +332,145 @@ def _command_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_run(args: argparse.Namespace) -> int:
+    spec_path = Path(args.spec)
+    if not spec_path.exists():
+        raise ConfigurationError(f"experiment spec file {spec_path} does not exist")
+    try:
+        payload = json.loads(spec_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"experiment spec {spec_path} is not valid JSON: {exc}"
+        ) from exc
+    if args.overrides:
+        payload = apply_overrides(payload, args.overrides)
+    spec = ExperimentSpec.from_dict(payload)
+
+    store = spec.runtime.build_store()
+    header = f"Experiment {spec.kind} {spec.fingerprint()} from {spec_path}"
+    if spec.description:
+        header += f" — {spec.description}"
+    print(header)
+    print(f"  {_expansion_summary(spec, store)}")
+
+    report = run_experiment(spec, store=store)
+    status = _print_report(report)
+    print(f"\nWall-clock: {report.wall_clock_s:.2f} s")
+
+    if args.out is not None:
+        out_path = Path(args.out)
+        out_path.write_text(report.to_json())
+        print(f"Report written to {out_path}")
+    return status
+
+
 def _command_explore(args: argparse.Namespace) -> int:
-    benchmark = create(args.benchmark)
-    environment = AxcDseEnv(benchmark, evaluation_seed=args.seed)
-    agent = _build_agent(args.agent, environment, args.steps, args.seed)
-    result = Explorer(environment, agent, max_steps=args.steps).run(seed=args.seed)
-
-    catalog = environment.evaluator.catalog
-    print(f"Exploration of {benchmark.name} with {agent.name} "
-          f"({result.num_steps} steps, thresholds: {environment.thresholds})")
-    print(render_table3({benchmark.name: result}, catalog))
-
-    if args.figures:
-        trends = trace_trends(result)
-        print("\nTrend lines (Figures 2-3):")
-        for objective, trend in trends.items():
-            print(f"  {objective}: slope={trend.slope:.6f} intercept={trend.intercept:.3f}")
-        curve = reward_curve(result)
-        print("\nAverage reward per 100 steps (Figure 4):")
-        print("  " + ", ".join(f"{value:.2f}" for value in curve.averages))
-    return 0
+    spec = ExperimentSpec(
+        kind="explore",
+        benchmarks=(BenchmarkSpec.parse(args.benchmark),),
+        agents=(ExperimentAgentSpec(args.agent),),
+        seeds=(args.seed,),
+        max_steps=args.steps,
+    )
+    return _print_explore(run_experiment(spec), figures=args.figures)
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    benchmark = create(args.benchmark)
-    environment = AxcDseEnv(benchmark, evaluation_seed=args.seed)
-    results = []
-    for agent_name in AGENT_NAMES:
-        agent = _build_agent(agent_name, environment, args.steps, args.seed)
-        results.append(Explorer(environment, agent, max_steps=args.steps).run(seed=args.seed))
-
-    evaluator = environment.evaluator
-    thresholds = environment.thresholds
-    budget = args.steps
-    results.append(SimulatedAnnealingExplorer(evaluator, thresholds,
-                                              max_evaluations=budget, seed=args.seed).run())
-    results.append(HillClimbingExplorer(evaluator, thresholds,
-                                        max_evaluations=budget, seed=args.seed).run())
-    results.append(GeneticExplorer(evaluator, thresholds, seed=args.seed).run())
-
-    print(f"Explorer comparison on {benchmark.name} (thresholds: {thresholds})")
-    print(render_comparison(results))
-    return 0
+    spec = ExperimentSpec(
+        kind="compare",
+        benchmarks=(BenchmarkSpec.parse(args.benchmark),),
+        agents=tuple(ExperimentAgentSpec(name) for name in dict.fromkeys(args.agents)),
+        seeds=(args.seed,),
+        max_steps=args.steps,
+    )
+    return _print_compare(run_experiment(spec))
 
 
 def _command_campaign(args: argparse.Namespace) -> int:
-    benchmarks = {name: create(name) for name in dict.fromkeys(args.benchmarks)}
-    agents = [AgentSpec(name) for name in dict.fromkeys(args.agents)]
-    seeds = list(dict.fromkeys(args.seeds))
-    jobs = expand_jobs(benchmarks, agents, seeds=seeds, max_steps=args.steps)
-    executor = SerialExecutor() if args.jobs <= 1 else ProcessExecutor(n_jobs=args.jobs)
-    store = EvaluationStore(path=args.store)
-
-    mode = "serially" if args.jobs <= 1 else f"on {args.jobs} worker processes"
-    print(f"Campaign: {len(benchmarks)} benchmark(s) x {len(agents)} agent(s) x "
-          f"{len(seeds)} seed(s) = {len(jobs)} exploration(s), "
-          f"{args.steps} steps each, running {mode}"
-          + (f" (store warm with {len(store)} evaluations)" if len(store) else ""))
-
-    outcomes = executor.run(jobs, store=store)
-    store.flush()
-
-    failures = [outcome for outcome in outcomes if not outcome.ok]
-    for outcome in failures:
-        print(f"\nFAILED {outcome.job.describe()}:\n{outcome.error}")
-
-    by_agent: Dict[str, List[CampaignEntry]] = {}
-    for outcome in outcomes:
-        if outcome.ok:
-            by_agent.setdefault(outcome.job.agent.name, []).append(
-                CampaignEntry(benchmark_label=outcome.job.benchmark_label,
-                              seed=outcome.job.seed, result=outcome.result)
-            )
-    for agent_name, entries in by_agent.items():
-        print(f"\nAgent {agent_name} — per-benchmark aggregates over seeds")
-        for label, summary in Campaign.summarize(entries).items():
-            best = ("-" if summary.best_feasible_power_mw is None
-                    else f"{summary.best_feasible_power_mw:.1f} mW")
-            print(f"  {label:14s} runs={summary.runs}  "
-                  f"mean solution Δpower={summary.mean_solution_power_mw:.1f} mW  "
-                  f"Δtime={summary.mean_solution_time_ns:.1f} ns  "
-                  f"Δacc={summary.mean_solution_accuracy:.1f}  "
-                  f"feasible={100 * summary.mean_feasible_fraction:.0f} %  "
-                  f"front={summary.mean_front_size:.1f} pts  "
-                  f"best feasible Δpower={best}")
-
-    stats = store.stats
-    print(f"\nEvaluation store: {len(store)} cached design points, "
-          f"{stats.hits} hits / {stats.lookups} lookups "
-          f"({100 * stats.hit_rate:.0f} % hit rate)"
-          + (f", persisted to {store.path}" if store.path else ""))
-    return 1 if failures else 0
-
-
-def _sweep_result_payload(result) -> Dict[str, object]:
-    return {
-        "benchmark": result.benchmark_name,
-        "seed": result.seed,
-        "space_size": result.space_size,
-        "evaluations": result.evaluations,
-        "front_size": result.front_size,
-        "feasible_front_size": len(result.feasible_front()),
-        "hypervolume_proxy": result.hypervolume(),
-        "thresholds": {
-            "accuracy": result.thresholds.accuracy,
-            "power_mw": result.thresholds.power_mw,
-            "time_ns": result.thresholds.time_ns,
-        },
-        "front": [
-            {
-                "adder_index": record.point.adder_index,
-                "multiplier_index": record.point.multiplier_index,
-                "variables": list(record.point.variables),
-                "delta_accuracy": record.deltas.accuracy,
-                "delta_power_mw": record.deltas.power_mw,
-                "delta_time_ns": record.deltas.time_ns,
-            }
-            for record in result.front
-        ],
-    }
+    spec = ExperimentSpec(
+        kind="campaign",
+        benchmarks=tuple(BenchmarkSpec.parse(text)
+                         for text in dict.fromkeys(args.benchmarks)),
+        agents=tuple(ExperimentAgentSpec(name) for name in dict.fromkeys(args.agents)),
+        seeds=tuple(dict.fromkeys(args.seeds)),
+        max_steps=args.steps,
+        runtime=RuntimeSpec.from_jobs(args.jobs, store_path=args.store),
+    )
+    store = spec.runtime.build_store()
+    print(f"Campaign: {_expansion_summary(spec, store)}")
+    return _print_campaign(run_experiment(spec, store=store))
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    benchmarks = {name: create(name) for name in dict.fromkeys(args.benchmarks)}
-    seeds = list(dict.fromkeys(args.seeds))
-    executor = SerialExecutor() if args.jobs <= 1 else ProcessExecutor(n_jobs=args.jobs)
-    store = EvaluationStore(path=args.store)
-
-    mode = "serially" if args.jobs <= 1 else f"on {args.jobs} worker processes"
-    print(f"Exhaustive sweep: {len(benchmarks)} benchmark(s) x {len(seeds)} seed(s), "
-          f"chunks of {args.chunk_size} design points, running {mode}"
-          + (f" (store warm with {len(store)} evaluations)" if len(store) else ""))
-
-    results = run_sweep(benchmarks, seeds=seeds, executor=executor, store=store,
-                        chunk_size=args.chunk_size)
-    store.flush()
-
-    for result in results:
-        feasible = len(result.feasible_front())
-        print(f"\n{result.benchmark_label} (seed {result.seed}) — "
-              f"space {result.space_size} points, {result.evaluations} evaluated")
-        print(f"  true front: {result.front_size} point(s), {feasible} feasible, "
-              f"hypervolume proxy {result.hypervolume():.3g}")
-        # Ties (distinct configurations with identical objectives) collapse
-        # to one printed line with a multiplicity.
-        counts = Counter(result.front_points())
-        for (accuracy, power, time_ns), multiplicity in sorted(counts.items()):
-            suffix = f"   x{multiplicity} configs" if multiplicity > 1 else ""
-            print(f"    Δacc={accuracy:10.3f}  Δpower={power:10.1f} mW  "
-                  f"Δtime={time_ns:10.1f} ns{suffix}")
-
-    wall_clock = results[0].metadata.get("sweep_wall_clock_s") if results else None
-    if wall_clock is not None:
-        print(f"\nSweep wall-clock: {wall_clock:.2f} s")
+    spec = ExperimentSpec(
+        kind="sweep",
+        benchmarks=tuple(BenchmarkSpec.parse(text)
+                         for text in dict.fromkeys(args.benchmarks)),
+        seeds=tuple(dict.fromkeys(args.seeds)),
+        runtime=RuntimeSpec.from_jobs(args.jobs, store_path=args.store,
+                                      chunk_size=args.chunk_size),
+    )
+    store = spec.runtime.build_store()
+    print(f"Exhaustive sweep: {_expansion_summary(spec, store)}")
+    report = run_experiment(spec, store=store)
+    _print_sweep_fronts(report)
 
     if args.out is not None:
-        payload = [_sweep_result_payload(result) for result in results]
+        payload = [entry.metrics for entry in report.entries]
         out_path = Path(args.out)
         out_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"\nFronts written to {out_path}")
 
-    stats = store.stats
-    print(f"\nEvaluation store: {len(store)} cached design points, "
-          f"{stats.hits} hits / {stats.lookups} lookups "
-          f"({100 * stats.hit_rate:.0f} % hit rate)"
-          + (f", persisted to {store.path}" if store.path else ""))
+    _print_store_line(report)
     return 0
 
 
 def _command_list_benchmarks(_: argparse.Namespace) -> int:
     for name in sorted(available()):
         print(name)
+    for label in PAPER_BENCHMARK_PARAMS:
+        name, params = PAPER_BENCHMARK_PARAMS[label]
+        print(f"{label}  (= {BenchmarkSpec.default_label(name, params)})")
+    return 0
+
+
+def _command_list_agents(_: argparse.Namespace) -> int:
+    for name in agent_names():
+        family = agent_family(name)
+        print(f"{name:20s} [{family.kind}] {family.description}")
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Configuration mistakes (unknown benchmarks/agents, invalid specs —
+    :class:`UnknownBenchmarkError` / :class:`ConfigurationError`) print a
+    one-line error to stderr and exit with status 2 instead of a raw
+    traceback; execution failures inside a campaign are captured per job
+    and reported with exit status 1.  Other runtime errors propagate with
+    their traceback — they indicate bugs, not configuration.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     commands = {
         "characterize": _command_characterize,
+        "run": _command_run,
         "explore": _command_explore,
         "compare": _command_compare,
         "campaign": _command_campaign,
         "sweep": _command_sweep,
         "list-benchmarks": _command_list_benchmarks,
+        "list-agents": _command_list_agents,
     }
-    return commands[args.command](args)
+    try:
+        return commands[args.command](args)
+    except UnknownBenchmarkError as exc:
+        print(f"error: {exc}; {_benchmark_choices()}", file=sys.stderr)
+        return 2
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -16,6 +16,13 @@ or fanned out over processes with
 shares one :class:`~repro.runtime.store.EvaluationStore` so design points
 measured by one run warm-start its siblings.  Both executors produce
 identical entries for the same definition.
+
+The declarative layer (:mod:`repro.experiments`) supersedes direct
+``Campaign`` construction for shareable experiments: a campaign-kind
+:class:`~repro.experiments.spec.ExperimentSpec` run through
+:func:`~repro.experiments.runner.run_experiment` produces the same results
+and adds serialization, fingerprinting and reporting.  ``Campaign`` remains
+the supported imperative API; :meth:`Campaign.from_spec` bridges the two.
 """
 
 from __future__ import annotations
@@ -128,6 +135,38 @@ class Campaign:
         self._executor = executor if executor is not None else SerialExecutor()
         self._store = store if store is not None else EvaluationStore()
         self._store_outputs = bool(store_outputs)
+
+    @classmethod
+    def from_spec(cls, spec) -> "Campaign":
+        """Build a campaign from a declarative :class:`ExperimentSpec`.
+
+        The spec must be of kind ``"campaign"`` (or ``"explore"``) and name
+        exactly one agent — a ``Campaign`` runs one agent family; use
+        :func:`~repro.experiments.runner.run_experiment` for multi-agent
+        matrices.  The spec's runtime configures the executor and store.
+        """
+        from repro.errors import ConfigurationError
+
+        if spec.kind not in ("campaign", "explore"):
+            raise ConfigurationError(
+                f"Campaign.from_spec expects a 'campaign' or 'explore' spec, "
+                f"got kind {spec.kind!r}"
+            )
+        if len(spec.agents) != 1:
+            raise ConfigurationError(
+                f"a Campaign runs one agent family; the spec names "
+                f"{len(spec.agents)} (use run_experiment for agent matrices)"
+            )
+        return cls(
+            benchmarks={bspec.label: bspec.build() for bspec in spec.benchmarks},
+            agent_factory=spec.agents[0].to_agent_spec(),
+            max_steps=spec.max_steps,
+            seeds=spec.seeds,
+            env_kwargs=spec.thresholds.env_kwargs(),
+            executor=spec.runtime.build_executor(),
+            store=spec.runtime.build_store(),
+            store_outputs=spec.runtime.store_outputs,
+        )
 
     @property
     def seeds(self) -> Tuple[int, ...]:

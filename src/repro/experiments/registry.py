@@ -1,0 +1,218 @@
+"""Unified agent registry: RL agents and metaheuristic baselines by name.
+
+The benchmark layer has had a string registry since the seed
+(:mod:`repro.benchmarks.registry`); this module generalizes the pattern to
+agents so every surface that names an agent — :class:`~repro.runtime.jobs.
+AgentSpec`, the campaign CLI, declarative :class:`~repro.experiments.spec.
+ExperimentSpec` documents — resolves through one table instead of a
+hardcoded tuple.
+
+Two families exist, distinguished by how an exploration drives them:
+
+* ``"rl"`` — step-loop agents (:class:`QLearningAgent`, SARSA, random)
+  driven by :class:`~repro.dse.explorer.Explorer` through the environment;
+  their builder receives ``(environment, seed, max_steps, options)`` and
+  returns the agent object.
+* ``"baseline"`` — self-driving metaheuristic explorers (hill climbing,
+  simulated annealing, genetic, exhaustive) that own their search loop;
+  their builder receives ``(evaluator, thresholds, seed, budget, options)``
+  and returns an object whose ``run()`` yields an
+  :class:`~repro.dse.results.ExplorationResult`.
+
+Builders import their agent classes lazily, keeping this module cheap to
+import from :mod:`repro.runtime.jobs` (which consults the registry for name
+validation) without circular-import hazards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "RL",
+    "BASELINE",
+    "AgentFamily",
+    "register_agent",
+    "agent_family",
+    "agent_names",
+    "rl_agent_names",
+    "baseline_agent_names",
+]
+
+#: Family kinds (see module docstring for the builder contracts).
+RL = "rl"
+BASELINE = "baseline"
+_KINDS = (RL, BASELINE)
+
+
+@dataclass(frozen=True)
+class AgentFamily:
+    """One registered agent family: a name, its kind, and its builder."""
+
+    name: str
+    kind: str
+    builder: Callable[..., object]
+    description: str = ""
+    #: Hyperparameter names the builder fills with defaults when omitted
+    #: (documentation for spec authors; unknown keys still surface as
+    #: precise ``TypeError``-derived configuration errors at build time).
+    defaults: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "defaults", dict(self.defaults))
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"agent family kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+
+
+_FAMILIES: Dict[str, AgentFamily] = {}
+
+
+def register_agent(name: str, kind: str, builder: Callable[..., object],
+                   description: str = "",
+                   defaults: Mapping[str, object] = ()) -> None:
+    """Register an agent family under ``name`` (see module docstring)."""
+    if not name:
+        raise ConfigurationError("agent name must be non-empty")
+    if name in _FAMILIES:
+        raise ConfigurationError(f"agent {name!r} is already registered")
+    _FAMILIES[name] = AgentFamily(name=name, kind=kind, builder=builder,
+                                  description=description,
+                                  defaults=dict(defaults) if defaults else {})
+
+
+def agent_family(name: str) -> AgentFamily:
+    """Resolve a registered agent family, with an actionable error."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown agent {name!r}; registered agents: {', '.join(_FAMILIES)}"
+        ) from None
+
+
+def agent_names() -> Tuple[str, ...]:
+    """Every registered agent name, in registration order (RL families first)."""
+    return tuple(_FAMILIES)
+
+
+def rl_agent_names() -> Tuple[str, ...]:
+    """Names of the step-loop (environment-driven) agent families."""
+    return tuple(name for name, fam in _FAMILIES.items() if fam.kind == RL)
+
+
+def baseline_agent_names() -> Tuple[str, ...]:
+    """Names of the self-driving metaheuristic baseline families."""
+    return tuple(name for name, fam in _FAMILIES.items() if fam.kind == BASELINE)
+
+
+# ------------------------------------------------------------- RL builders
+
+
+def _rl_options(environment, seed: int, options: Mapping[str, object]) -> Dict[str, object]:
+    resolved = dict(options)
+    resolved.setdefault("num_actions", environment.action_space.n)
+    resolved.setdefault("seed", seed)
+    return resolved
+
+
+def _default_epsilon(max_steps: int):
+    from repro.agents.schedules import LinearDecayEpsilon
+
+    return LinearDecayEpsilon(start=1.0, end=0.05, decay_steps=max(max_steps // 2, 1))
+
+
+def _build_q_learning(environment, seed: int, max_steps: int,
+                      options: Mapping[str, object]):
+    from repro.agents import QLearningAgent
+
+    resolved = _rl_options(environment, seed, options)
+    resolved.setdefault("epsilon", _default_epsilon(max_steps))
+    return QLearningAgent(**resolved)
+
+
+def _build_sarsa(environment, seed: int, max_steps: int,
+                 options: Mapping[str, object]):
+    from repro.agents import SarsaAgent
+
+    resolved = _rl_options(environment, seed, options)
+    resolved.setdefault("epsilon", _default_epsilon(max_steps))
+    return SarsaAgent(**resolved)
+
+
+def _build_random(environment, seed: int, max_steps: int,
+                  options: Mapping[str, object]):
+    from repro.agents import RandomAgent
+
+    return RandomAgent(**_rl_options(environment, seed, options))
+
+
+# ------------------------------------------------------- baseline builders
+
+
+def _build_hill_climbing(evaluator, thresholds, seed: int, budget: int,
+                         options: Mapping[str, object]):
+    from repro.agents import HillClimbingExplorer
+
+    resolved = dict(options)
+    resolved.setdefault("max_evaluations", budget)
+    resolved.setdefault("seed", seed)
+    return HillClimbingExplorer(evaluator, thresholds, **resolved)
+
+
+def _build_simulated_annealing(evaluator, thresholds, seed: int, budget: int,
+                               options: Mapping[str, object]):
+    from repro.agents import SimulatedAnnealingExplorer
+
+    resolved = dict(options)
+    resolved.setdefault("max_evaluations", budget)
+    resolved.setdefault("seed", seed)
+    return SimulatedAnnealingExplorer(evaluator, thresholds, **resolved)
+
+
+def _build_genetic(evaluator, thresholds, seed: int, budget: int,
+                   options: Mapping[str, object]):
+    # The GA's budget is population_size x generations (its own defaults),
+    # matching the historical ``compare`` invocation; ``max_steps`` does not
+    # override it so legacy results stay bit-identical.
+    from repro.agents import GeneticExplorer
+
+    resolved = dict(options)
+    resolved.setdefault("seed", seed)
+    return GeneticExplorer(evaluator, thresholds, **resolved)
+
+
+def _build_exhaustive(evaluator, thresholds, seed: int, budget: int,
+                      options: Mapping[str, object]):
+    # Exhaustive search is deterministic: the seed only affects the workload
+    # (already baked into the evaluator), so it is not forwarded.
+    from repro.agents import ExhaustiveExplorer
+
+    resolved = dict(options)
+    resolved.setdefault("max_evaluations", budget)
+    return ExhaustiveExplorer(evaluator, thresholds, **resolved)
+
+
+register_agent("q-learning", RL, _build_q_learning,
+               "tabular Q-learning (the paper's agent)",
+               defaults={"epsilon": "linear decay 1.0 -> 0.05 over max_steps/2"})
+register_agent("sarsa", RL, _build_sarsa,
+               "on-policy SARSA variant",
+               defaults={"epsilon": "linear decay 1.0 -> 0.05 over max_steps/2"})
+register_agent("random", RL, _build_random, "uniform random action baseline")
+register_agent("hill-climbing", BASELINE, _build_hill_climbing,
+               "steepest-ascent hill climbing with random restarts",
+               defaults={"max_evaluations": "the exploration step budget"})
+register_agent("simulated-annealing", BASELINE, _build_simulated_annealing,
+               "single-chain simulated annealing",
+               defaults={"max_evaluations": "the exploration step budget"})
+register_agent("genetic", BASELINE, _build_genetic,
+               "generational genetic algorithm",
+               defaults={"population_size": 16, "generations": 20})
+register_agent("exhaustive", BASELINE, _build_exhaustive,
+               "full design-space enumeration (ground truth on small spaces)",
+               defaults={"max_evaluations": "the exploration step budget"})

@@ -1,0 +1,107 @@
+"""The single experiment facade: expand any spec onto the runtime.
+
+:func:`run_experiment` is the one entry point behind every CLI subcommand
+and the recommended Python API: it takes an
+:class:`~repro.experiments.spec.ExperimentSpec`, expands it into jobs
+(explorations for ``explore``/``compare``/``campaign``, chunked
+:class:`SweepJob`\\ s for ``sweep``), runs them on the spec's executor
+against the spec's store, and assembles a serializable
+:class:`~repro.experiments.report.ExperimentReport`.
+
+Because expansion is deterministic and every job is deterministic given
+(benchmark, catalog, seed), a spec's results depend only on its
+fingerprinted fields: running the same spec serially or across processes
+yields identical report entries.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import ExperimentEntry, ExperimentReport
+from repro.experiments.spec import ExperimentSpec
+
+__all__ = ["run_experiment"]
+
+
+def run_experiment(spec: ExperimentSpec,
+                   executor: Optional[object] = None,
+                   store: Optional[object] = None,
+                   on_outcome: Optional[Callable] = None) -> ExperimentReport:
+    """Run one declarative experiment and return its report.
+
+    Parameters
+    ----------
+    spec:
+        The experiment document (see :class:`ExperimentSpec`).
+    executor, store:
+        Optional pre-built runtime pieces overriding the spec's
+        :class:`~repro.experiments.spec.RuntimeSpec` (the CLI uses this to
+        print warm-store information before running).  Results never depend
+        on them.
+    on_outcome:
+        Optional progress callback invoked with every finished
+        :class:`~repro.runtime.executor.JobOutcome` (exploration kinds only).
+    """
+    if not isinstance(spec, ExperimentSpec):
+        raise ConfigurationError(
+            f"run_experiment expects an ExperimentSpec, got {type(spec).__name__}"
+        )
+    store = store if store is not None else spec.runtime.build_store()
+    executor = executor if executor is not None else spec.runtime.build_executor()
+
+    benchmarks = {bspec.label: bspec.build() for bspec in spec.benchmarks}
+
+    started = time.perf_counter()
+    if spec.kind == "sweep":
+        from repro.dse.sweep import run_sweep
+
+        sweep_results = run_sweep(
+            benchmarks,
+            seeds=spec.seeds,
+            executor=executor,
+            store=store,
+            chunk_size=spec.runtime.chunk_size,
+        )
+        entries = [ExperimentEntry.from_sweep(result) for result in sweep_results]
+    else:
+        from repro.runtime.jobs import expand_jobs
+
+        jobs = expand_jobs(
+            benchmarks,
+            [aspec.to_agent_spec() for aspec in spec.agents],
+            seeds=spec.seeds,
+            max_steps=spec.max_steps,
+            env_kwargs=spec.thresholds.env_kwargs(),
+        )
+        outcomes = executor.run(jobs, store=store,
+                                store_outputs=spec.runtime.store_outputs,
+                                on_outcome=on_outcome)
+        entries = [ExperimentEntry.from_outcome(outcome) for outcome in outcomes]
+    wall_clock_s = time.perf_counter() - started
+    store.flush()
+
+    import repro
+
+    stats = store.stats
+    return ExperimentReport(
+        spec=spec,
+        entries=tuple(entries),
+        wall_clock_s=wall_clock_s,
+        store={
+            "size": len(store),
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "upgrades": stats.upgrades,
+            "lookups": stats.lookups,
+            "hit_rate": stats.hit_rate,
+            "path": None if store.path is None else str(store.path),
+        },
+        provenance={
+            "fingerprint": spec.fingerprint(),
+            "repro_version": repro.__version__,
+            "executor": type(executor).__name__,
+        },
+    )

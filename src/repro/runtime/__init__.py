@@ -21,7 +21,6 @@ only ever returns records bit-identical to a fresh evaluation.
 
 from repro.runtime.executor import Executor, JobOutcome, ProcessExecutor, SerialExecutor
 from repro.runtime.jobs import (
-    AGENT_NAMES,
     AgentSpec,
     ExplorationJob,
     SweepJob,
@@ -29,6 +28,18 @@ from repro.runtime.jobs import (
     expand_jobs,
     expand_sweep_jobs,
 )
+
+
+def __getattr__(name: str):
+    # ``AGENT_NAMES`` resolves through the unified agent registry
+    # (:mod:`repro.experiments.registry`); it is looked up lazily so that
+    # importing the runtime during package bootstrap never drags the
+    # registry (and the agent stack behind it) in early.
+    if name == "AGENT_NAMES":
+        from repro.runtime import jobs
+
+        return jobs.AGENT_NAMES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from repro.runtime.store import (
     EvaluationKey,
     EvaluationStore,

@@ -10,10 +10,11 @@ deterministically, and :func:`execute_job` is the single entry point every
 executor funnels through.
 
 Agents are described by :class:`AgentSpec` rather than a bare callable so
-the spec survives pickling: the built-in agent families are addressed by
-name, and custom factories are supported as long as the callable itself is
-picklable (a module-level function — closures and lambdas only work with the
-serial executor).
+the spec survives pickling: agent families are addressed by name through
+the unified :mod:`repro.experiments.registry` (RL agents *and* the
+metaheuristic baselines), and custom factories are supported as long as the
+callable itself is picklable (a module-level function — closures and
+lambdas only work with the serial executor).
 """
 
 from __future__ import annotations
@@ -39,8 +40,15 @@ __all__ = [
     "AGENT_NAMES",
 ]
 
-#: Agent families :meth:`AgentSpec.build` can construct by name.
-AGENT_NAMES = ("q-learning", "sarsa", "random")
+def __getattr__(name: str):
+    # ``AGENT_NAMES`` delegates to the unified agent registry (resolved
+    # lazily: the registry lives above this module in the import graph).
+    if name == "AGENT_NAMES":
+        from repro.experiments.registry import agent_names
+
+        return agent_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 #: Builds an agent for a given environment; receives (environment, seed).
 AgentFactory = Callable[["AxcDseEnv", int], object]
@@ -50,21 +58,39 @@ AgentFactory = Callable[["AxcDseEnv", int], object]
 class AgentSpec:
     """Picklable description of the agent driving one exploration.
 
-    Either names one of the built-in families (``"q-learning"``, ``"sarsa"``,
-    ``"random"``) with optional constructor overrides, or wraps an arbitrary
-    factory callable via :meth:`from_factory`.
+    Either names a family registered in the unified agent registry
+    (:mod:`repro.experiments.registry`) — the RL agents ``"q-learning"``,
+    ``"sarsa"``, ``"random"`` or the metaheuristic baselines
+    ``"hill-climbing"``, ``"simulated-annealing"``, ``"genetic"``,
+    ``"exhaustive"`` — with optional constructor overrides, or wraps an
+    arbitrary factory callable via :meth:`from_factory`.
     """
 
     name: str
     options: Mapping[str, object] = field(default_factory=dict)
     factory: Optional[AgentFactory] = None
+    #: Reporting identity; defaults to ``name``.  Distinct labels let one
+    #: campaign run several hyperparameter variants of the same family and
+    #: keep their results apart.
+    label: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "options", dict(self.options))
-        if self.factory is None and self.name not in AGENT_NAMES:
+        if self.label is None:
+            object.__setattr__(self, "label", self.name)
+        elif not isinstance(self.label, str) or not self.label:
             raise ConfigurationError(
-                f"agent name must be one of {AGENT_NAMES}, got {self.name!r}"
+                f"agent label must be a non-empty string, got {self.label!r}"
             )
+        if self.factory is None:
+            from repro.experiments.registry import agent_family, agent_names
+
+            try:
+                agent_family(self.name)
+            except ConfigurationError:
+                raise ConfigurationError(
+                    f"agent name must be one of {agent_names()}, got {self.name!r}"
+                ) from None
 
     @classmethod
     def from_factory(cls, factory: AgentFactory, name: str = "custom") -> "AgentSpec":
@@ -79,23 +105,50 @@ class AgentSpec:
         return cls(name=name, factory=factory)
 
     def build(self, environment: "AxcDseEnv", seed: int, max_steps: int) -> object:
-        """Instantiate the agent for one exploration."""
+        """Instantiate the step-loop agent for one exploration.
+
+        Baseline families (``hill-climbing``, ``simulated-annealing``,
+        ``genetic``, ``exhaustive``) own their search loop and are driven by
+        :func:`execute_job` / :meth:`build_baseline` instead of an
+        :class:`~repro.dse.explorer.Explorer`; asking ``build`` for one is a
+        configuration error.
+        """
         if self.factory is not None:
             return self.factory(environment, seed)
-        from repro.agents import QLearningAgent, RandomAgent, SarsaAgent
-        from repro.agents.schedules import LinearDecayEpsilon
+        from repro.experiments.registry import RL, agent_family
 
-        options = dict(self.options)
-        options.setdefault("num_actions", environment.action_space.n)
-        options.setdefault("seed", seed)
-        if self.name == "random":
-            return RandomAgent(**options)
-        options.setdefault(
-            "epsilon",
-            LinearDecayEpsilon(start=1.0, end=0.05, decay_steps=max(max_steps // 2, 1)),
-        )
-        agent_class = QLearningAgent if self.name == "q-learning" else SarsaAgent
-        return agent_class(**options)
+        family = agent_family(self.name)
+        if family.kind != RL:
+            raise ConfigurationError(
+                f"agent {self.name!r} is a self-driving baseline explorer; it is "
+                f"run through execute_job / AgentSpec.build_baseline, not built "
+                f"for an environment step loop"
+            )
+        return family.builder(environment, seed, max_steps, self.options)
+
+    def build_baseline(self, evaluator, thresholds, seed: int, budget: int) -> object:
+        """Instantiate the baseline explorer for one exploration.
+
+        The returned object's ``run()`` yields an
+        :class:`~repro.dse.results.ExplorationResult`, directly comparable
+        to RL traces.  Only valid for baseline families.
+        """
+        from repro.experiments.registry import BASELINE, agent_family
+
+        family = agent_family(self.name)
+        if family.kind != BASELINE:
+            raise ConfigurationError(
+                f"agent {self.name!r} is not a baseline explorer; use build()"
+            )
+        return family.builder(evaluator, thresholds, seed, budget, self.options)
+
+    def is_baseline(self) -> bool:
+        """Whether this spec names a self-driving baseline explorer."""
+        if self.factory is not None:
+            return False
+        from repro.experiments.registry import BASELINE, agent_family
+
+        return agent_family(self.name).kind == BASELINE
 
 
 @dataclass(frozen=True)
@@ -141,7 +194,7 @@ class ExplorationJob:
     def describe(self) -> str:
         """Short human-readable identity, used in error reports and logs."""
         return (
-            f"{self.benchmark_label}[seed={self.seed}, agent={self.agent.name}, "
+            f"{self.benchmark_label}[seed={self.seed}, agent={self.agent.label}, "
             f"steps={self.max_steps}]"
         )
 
@@ -295,6 +348,11 @@ def execute_job(job: ExplorationJob,
     :class:`SweepJob` chunks funnel through here too, so both executors run
     sweeps and explorations interchangeably; they return a
     :class:`~repro.dse.sweep.SweepChunk` instead of an exploration result.
+
+    Baseline agent specs (``hill-climbing``, ``simulated-annealing``,
+    ``genetic``, ``exhaustive``) run their own search loop against the
+    environment's evaluator and thresholds; ``on_step`` only applies to the
+    step-loop (RL) families.
     """
     if isinstance(job, SweepJob):
         from repro.dse.sweep import execute_sweep_job
@@ -308,6 +366,16 @@ def execute_job(job: ExplorationJob,
         "store": store, "store_outputs": store_outputs, **dict(job.env_kwargs)
     }
     environment = AxcDseEnv(job.benchmark, evaluation_seed=job.seed, **env_kwargs)
+    if job.agent.is_baseline():
+        if job.random_start:
+            raise ConfigurationError(
+                f"{job.describe()}: baseline explorers choose their own "
+                f"starting point; random_start is not supported"
+            )
+        explorer = job.agent.build_baseline(
+            environment.evaluator, environment.thresholds, job.seed, job.max_steps
+        )
+        return explorer.run()
     agent = job.agent.build(environment, job.seed, job.max_steps)
     explorer = Explorer(environment, agent, max_steps=job.max_steps, on_step=on_step)
     return explorer.run(seed=job.seed, random_start=job.random_start)

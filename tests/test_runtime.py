@@ -377,3 +377,44 @@ class TestCampaignCli:
         captured = capsys.readouterr().out
         assert "store warm with" in captured
         assert "(100 % hit rate)" in captured
+
+
+class TestBaselineJobs:
+    """Baseline explorers run as first-class jobs through both executors."""
+
+    def test_expand_jobs_accepts_baseline_specs(self):
+        jobs = expand_jobs({"dot": DotProductBenchmark(length=12)},
+                           [AgentSpec("q-learning"), AgentSpec("simulated-annealing"),
+                            AgentSpec("exhaustive")],
+                           seeds=(0,), max_steps=15)
+        assert [job.agent.name for job in jobs] == \
+            ["q-learning", "simulated-annealing", "exhaustive"]
+
+    def test_baseline_jobs_identical_across_executors(self):
+        jobs = expand_jobs({"dot": DotProductBenchmark(length=12)},
+                           [AgentSpec("hill-climbing"), AgentSpec("genetic")],
+                           seeds=(0, 1), max_steps=20)
+        serial = SerialExecutor().run(jobs, store=EvaluationStore())
+        process = ProcessExecutor(n_jobs=2).run(jobs, store=EvaluationStore())
+        assert all(outcome.ok for outcome in serial + process)
+        for left, right in zip(serial, process):
+            assert left.result.agent_name == right.result.agent_name
+            assert [r.deltas for r in left.result.records] == \
+                [r.deltas for r in right.result.records]
+
+    def test_baseline_rejects_random_start(self):
+        jobs = expand_jobs({"dot": DotProductBenchmark(length=12)},
+                           AgentSpec("hill-climbing"), seeds=(0,), max_steps=15,
+                           random_start=True)
+        with pytest.raises(ConfigurationError, match="random_start"):
+            execute_job(jobs[0])
+
+    def test_baseline_evaluations_populate_the_shared_store(self):
+        store = EvaluationStore()
+        jobs = expand_jobs({"dot": DotProductBenchmark(length=12)},
+                           AgentSpec("hill-climbing"), seeds=(0,), max_steps=15)
+        SerialExecutor().run(jobs, store=store)
+        assert len(store) > 0
+        # A second run over the same definition is served from the store.
+        SerialExecutor().run(jobs, store=store)
+        assert store.stats.hits > 0
