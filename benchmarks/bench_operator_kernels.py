@@ -1,0 +1,231 @@
+"""Compiled operator kernels — analytic models vs LUT fast path.
+
+Two measurements, both asserting bit-identity before speed:
+
+1. **Per-operator kernels** — every compilable unit of the paper's catalog
+   (the 8-bit adders and multipliers of Tables I & II) applied to large
+   in-range operand arrays: the analytic multi-pass model against the
+   compiled single-gather path.  The outputs must match bit for bit.
+2. **End-to-end evaluation** — the ``matmul_50x50`` configuration evaluated
+   across a spread of design points with ``Evaluator(compiled=False)`` (the
+   historical path) and ``Evaluator(compiled=True)`` (the default): per
+   evaluation wall-clock, overall and on log/DRUM-heavy points.  Records,
+   profiles and store fingerprints must be identical — the compiled path
+   may only change wall-clock, never an exploration trace.
+
+``--smoke`` shrinks the problem sizes and drops the wall-clock assertions
+so CI verifies the compiled path is active and bit-identical in seconds.
+Full-scale runs write a machine-readable summary to
+``BENCH_operator_kernels.json`` at the repository root (also attached to
+``benchmark.extra_info``), so the perf trajectory of the operator layer is
+tracked from this change on; smoke runs write to a temp file instead so
+they never clobber the checked-in record.
+
+Full-scale targets (asserted without ``--smoke``): >=5x per evaluation on
+``matmul_50x50``, >=8x on log/DRUM-heavy points, >=10x on the log/DRUM
+operator kernels themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.benchmarks import MatMulBenchmark
+from repro.dse.design_space import DesignPoint
+from repro.dse.evaluator import Evaluator
+from repro.operators import compile_operator, default_catalog, is_compilable
+from repro.runtime import EvaluationStore
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_operator_kernels.json"
+
+#: Catalog multipliers whose analytic models are the heaviest (Mitchell log
+#: and aggressive DRUM truncation) — the >=10x kernel targets.
+_HEAVY_MULTIPLIERS = ("mul8_L93", "mul8_18UH", "mul8_17MJ")
+
+
+def _time_callable(function, repeats):
+    best = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None or elapsed < best else best
+    return best
+
+
+def _operator_kernel_rows(array_size, repeats):
+    """Time analytic vs compiled apply for every compilable catalog unit."""
+    catalog = default_catalog()
+    rng = np.random.default_rng(2023)
+    rows = []
+    for entry in list(catalog.adders) + list(catalog.multipliers):
+        analytic = catalog.instance(entry.name)
+        if not is_compilable(analytic):
+            continue
+        compiled = compile_operator(analytic)
+        bound = 1 << (entry.width - 1)
+        a = rng.integers(-bound, bound, size=array_size)
+        b = rng.integers(-bound, bound, size=array_size)
+
+        np.testing.assert_array_equal(analytic.apply(a, b), compiled.apply(a, b))
+        analytic_s = _time_callable(lambda: analytic.apply(a, b), repeats)
+        compiled_s = _time_callable(lambda: compiled.apply(a, b), repeats)
+        rows.append({
+            "name": entry.name,
+            "kind": entry.kind.value,
+            "width": entry.width,
+            "analytic_us": round(analytic_s * 1e6, 2),
+            "compiled_us": round(compiled_s * 1e6, 2),
+            "speedup": round(analytic_s / compiled_s, 2),
+        })
+    return rows
+
+
+def _evaluation_points(space):
+    """A spread of design points: every multiplier, both adder pressure levels,
+    with and without the accumulator approximated."""
+    points = []
+    for multiplier in range(1, space.num_multipliers + 1):
+        for adder in (2, min(4, space.num_adders)):
+            for accumulate in (True, False):
+                variables = [True] * space.num_variables
+                if space.num_variables:
+                    variables[-1] = accumulate
+                points.append(DesignPoint(adder, multiplier, tuple(variables)))
+    return points
+
+
+def _heavy_points(evaluator):
+    """Log/DRUM multiplier points with the adds on the exact unit."""
+    catalog = evaluator.catalog
+    points = []
+    for name in _HEAVY_MULTIPLIERS:
+        if name not in catalog:
+            continue
+        index = catalog.multiplier_index(name)
+        variables = [True] * evaluator.design_space.num_variables
+        if variables:
+            variables[-1] = False  # accumulator stays on the exact adder
+        points.append(DesignPoint(1, index, tuple(variables)))
+    return points
+
+
+def _time_evaluations(evaluator, points, repeats):
+    def run():
+        evaluator.use_store(EvaluationStore())
+        for point in points:
+            evaluator.evaluate(point)
+    return _time_callable(run, repeats)
+
+
+def test_operator_kernel_speedup(benchmark, smoke):
+    array_size = 4_096 if smoke else 262_144
+    kernel_repeats = 3 if smoke else 7
+    eval_repeats = 1 if smoke else 3
+    if smoke:
+        kernel = MatMulBenchmark(rows=8, inner=8, cols=8)
+        label = "matmul_8x8"
+    else:
+        kernel = MatMulBenchmark(rows=50, inner=50, cols=50)
+        label = "matmul_50x50"
+
+    def run_all():
+        operator_rows = _operator_kernel_rows(array_size, kernel_repeats)
+
+        analytic = Evaluator(kernel, compiled=False)
+        compiled = Evaluator(kernel, compiled=True)
+        assert compiled.compiled and not analytic.compiled
+        # Identical store fingerprints: compiled evaluations are addressed by
+        # the same keys, so exploration traces and store contents match.
+        assert analytic.store_context == compiled.store_context
+
+        points = _evaluation_points(analytic.design_space)
+        for point in points:
+            expected = analytic.evaluate(point)
+            actual = compiled.evaluate(point)
+            assert expected.deltas == actual.deltas, point
+            assert expected.approx_cost == actual.approx_cost, point
+            np.testing.assert_array_equal(expected.outputs, actual.outputs)
+
+        heavy = _heavy_points(analytic)
+        analytic_s = _time_evaluations(analytic, points, eval_repeats)
+        compiled_s = _time_evaluations(compiled, points, eval_repeats)
+        analytic_heavy_s = _time_evaluations(analytic, heavy, eval_repeats + 1)
+        compiled_heavy_s = _time_evaluations(compiled, heavy, eval_repeats + 1)
+        return {
+            "operators": operator_rows,
+            "points": len(points),
+            "heavy_points": len(heavy),
+            "analytic_s": analytic_s,
+            "compiled_s": compiled_s,
+            "analytic_heavy_s": analytic_heavy_s,
+            "compiled_heavy_s": compiled_heavy_s,
+        }
+
+    measured = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    operator_rows = measured["operators"]
+    num_points = measured["points"]
+    speedup = measured["analytic_s"] / measured["compiled_s"]
+    heavy_speedup = measured["analytic_heavy_s"] / measured["compiled_heavy_s"]
+    heavy_kernels = [row for row in operator_rows if row["name"] in _HEAVY_MULTIPLIERS]
+
+    report = {
+        "benchmark": "bench_operator_kernels",
+        "smoke": smoke,
+        "array_size": array_size,
+        "operators": operator_rows,
+        "end_to_end": {
+            "benchmark": label,
+            "points": num_points,
+            "analytic_ms_per_eval": round(measured["analytic_s"] / num_points * 1e3, 3),
+            "compiled_ms_per_eval": round(measured["compiled_s"] / num_points * 1e3, 3),
+            "speedup": round(speedup, 2),
+            "heavy": {
+                "points": measured["heavy_points"],
+                "multipliers": list(_HEAVY_MULTIPLIERS),
+                "analytic_ms_per_eval": round(
+                    measured["analytic_heavy_s"] / measured["heavy_points"] * 1e3, 3),
+                "compiled_ms_per_eval": round(
+                    measured["compiled_heavy_s"] / measured["heavy_points"] * 1e3, 3),
+                "speedup": round(heavy_speedup, 2),
+            },
+        },
+        "bit_identical": True,
+        "store_fingerprints_match": True,
+    }
+    # Only full-scale runs refresh the checked-in perf-trajectory file;
+    # smoke numbers land in a temp file so a CI/local smoke run cannot
+    # clobber the tracked record.
+    json_path = _JSON_PATH if not smoke else \
+        Path(tempfile.gettempdir()) / "BENCH_operator_kernels.smoke.json"
+    json_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    benchmark.extra_info.update({
+        "smoke": smoke,
+        "end_to_end_speedup": round(speedup, 2),
+        "heavy_speedup": round(heavy_speedup, 2),
+        "operator_speedups": {row["name"]: row["speedup"] for row in operator_rows},
+        "json_path": str(json_path),
+    })
+
+    print(f"\nOperator kernels ({array_size} operands, best of {kernel_repeats})")
+    for row in operator_rows:
+        print(f"  {row['name']:<10} {row['analytic_us']:9.1f} us -> "
+              f"{row['compiled_us']:8.1f} us   ({row['speedup']:.1f}x)")
+    print(f"End-to-end {label} ({num_points} design points)")
+    print(f"  analytic  {measured['analytic_s'] / num_points * 1e3:8.2f} ms/eval")
+    print(f"  compiled  {measured['compiled_s'] / num_points * 1e3:8.2f} ms/eval   "
+          f"({speedup:.2f}x)")
+    print(f"  log/DRUM-heavy points: {heavy_speedup:.2f}x")
+
+    if not smoke:
+        assert speedup >= 5.0, f"matmul_50x50 per-evaluation speedup {speedup:.2f}x < 5x"
+        assert heavy_speedup >= 8.0, f"log/DRUM-heavy speedup {heavy_speedup:.2f}x < 8x"
+        for row in heavy_kernels:
+            assert row["speedup"] >= 10.0, \
+                f"{row['name']} kernel speedup {row['speedup']:.1f}x < 10x"

@@ -71,9 +71,17 @@ class Benchmark(ABC):
             raise BenchmarkError(f"{self.name}: missing inputs {missing}")
 
     def input_names(self) -> Tuple[str, ...]:
-        """Names of the entries :meth:`generate_inputs` produces."""
-        rng = np.random.default_rng(0)
-        return tuple(self.generate_inputs(rng).keys())
+        """Names of the entries :meth:`generate_inputs` produces.
+
+        Derived (and cached) by generating a throwaway workload once; the
+        cache keeps :meth:`execute` from regenerating inputs on every call.
+        """
+        names = getattr(self, "_input_names", None)
+        if names is None:
+            rng = np.random.default_rng(0)
+            names = tuple(self.generate_inputs(rng).keys())
+            self._input_names = names
+        return names
 
     @property
     def num_variables(self) -> int:

@@ -67,6 +67,9 @@ class AxcDseEnv(gymlite.Env):
     store_outputs:
         Whether cached evaluation records retain raw output arrays (see
         :class:`~repro.dse.evaluator.Evaluator`).
+    compiled:
+        Evaluate design points on LUT-compiled operator kernels (the
+        bit-identical fast path; see :class:`~repro.dse.evaluator.Evaluator`).
     """
 
     metadata = {"render_modes": ["ansi"]}
@@ -80,7 +83,8 @@ class AxcDseEnv(gymlite.Env):
                  signed_accuracy: bool = False,
                  restrict_to_benchmark_widths: bool = True,
                  store: Optional[EvaluationStore] = None,
-                 store_outputs: bool = True) -> None:
+                 store_outputs: bool = True,
+                 compiled: bool = True) -> None:
         if action_scheme not in ACTION_SCHEMES:
             raise ConfigurationError(
                 f"action_scheme must be one of {ACTION_SCHEMES}, got {action_scheme!r}"
@@ -93,7 +97,8 @@ class AxcDseEnv(gymlite.Env):
         self._evaluator = Evaluator(benchmark, catalog, seed=evaluation_seed,
                                     signed_accuracy=signed_accuracy,
                                     restrict_to_benchmark_widths=restrict_to_benchmark_widths,
-                                    store=store, store_outputs=store_outputs)
+                                    store=store, store_outputs=store_outputs,
+                                    compiled=compiled)
         self._space = self._evaluator.design_space
         self._max_cumulative_reward = float(max_cumulative_reward)
         self._reward_function = reward_function or Algorithm1Reward(

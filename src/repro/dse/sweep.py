@@ -122,6 +122,7 @@ def _evaluator_for(job: SweepJob, store: EvaluationStore,
         job.seed,
         job.signed_accuracy,
         job.restrict_to_benchmark_widths,
+        job.compiled,
     )
     evaluator = _EVALUATOR_CACHE.get(key)
     if evaluator is None:
@@ -135,6 +136,7 @@ def _evaluator_for(job: SweepJob, store: EvaluationStore,
             restrict_to_benchmark_widths=job.restrict_to_benchmark_widths,
             store=store,
             store_outputs=store_outputs,
+            compiled=job.compiled,
         )
         _EVALUATOR_CACHE[key] = evaluator
     return evaluator.use_store(store, store_outputs=store_outputs)
@@ -181,7 +183,8 @@ def run_sweep(benchmarks: Mapping[str, Benchmark],
               store: Optional[EvaluationStore] = None,
               chunk_size: int = 256,
               signed_accuracy: bool = False,
-              restrict_to_benchmark_widths: bool = True) -> List[SweepResult]:
+              restrict_to_benchmark_widths: bool = True,
+              compiled: bool = True) -> List[SweepResult]:
     """Exhaustively evaluate every design space and extract its true front.
 
     Returns one :class:`SweepResult` per (benchmark, seed), in definition
@@ -197,6 +200,7 @@ def run_sweep(benchmarks: Mapping[str, Benchmark],
         chunk_size=chunk_size,
         signed_accuracy=signed_accuracy,
         restrict_to_benchmark_widths=restrict_to_benchmark_widths,
+        compiled=compiled,
     )
 
     started = time.perf_counter()

@@ -64,6 +64,7 @@ def run_experiment(spec: ExperimentSpec,
             executor=executor,
             store=store,
             chunk_size=spec.runtime.chunk_size,
+            compiled=spec.runtime.compiled,
         )
         entries = [ExperimentEntry.from_sweep(result) for result in sweep_results]
     else:
@@ -74,7 +75,8 @@ def run_experiment(spec: ExperimentSpec,
             [aspec.to_agent_spec() for aspec in spec.agents],
             seeds=spec.seeds,
             max_steps=spec.max_steps,
-            env_kwargs=spec.thresholds.env_kwargs(),
+            env_kwargs={**spec.thresholds.env_kwargs(),
+                        "compiled": spec.runtime.compiled},
         )
         outcomes = executor.run(jobs, store=store,
                                 store_outputs=spec.runtime.store_outputs,

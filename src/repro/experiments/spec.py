@@ -392,6 +392,10 @@ class RuntimeSpec:
     store_path: Optional[str] = None
     chunk_size: int = 256
     store_outputs: bool = False
+    #: Evaluate on LUT-compiled operator kernels (bit-identical; results never
+    #: change, only wall-clock — hence runtime, not fingerprint, territory).
+    #: Disable to debug or measure the analytic path.
+    compiled: bool = True
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_KINDS:
@@ -422,6 +426,10 @@ class RuntimeSpec:
         if not isinstance(self.store_outputs, bool):
             raise ConfigurationError(
                 f"runtime store_outputs must be a boolean, got {self.store_outputs!r}"
+            )
+        if not isinstance(self.compiled, bool):
+            raise ConfigurationError(
+                f"runtime compiled must be a boolean, got {self.compiled!r}"
             )
 
     @classmethod
@@ -456,12 +464,14 @@ class RuntimeSpec:
             "store_path": self.store_path,
             "chunk_size": self.chunk_size,
             "store_outputs": self.store_outputs,
+            "compiled": self.compiled,
         }
 
     @classmethod
     def from_dict(cls, payload: object) -> "RuntimeSpec":
         payload = _require_mapping(payload, "runtime spec")
-        allowed = ("executor", "jobs", "store_path", "chunk_size", "store_outputs")
+        allowed = ("executor", "jobs", "store_path", "chunk_size", "store_outputs",
+                   "compiled")
         _check_keys(payload, allowed, "runtime spec")
         return cls(**payload)
 

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.errors import InstrumentationError
 from repro.instrumentation.profile import OperationProfile
-from repro.operators.base import Operator, OperatorKind
+from repro.operators.base import Operator, OperatorKind, as_int_array
 
 ArrayLike = Union[int, np.ndarray]
 
@@ -39,12 +39,21 @@ class ApproxContext:
         Names of the program variables selected for approximation.  An
         operation is approximated when at least one of the variables it
         touches is in this set, following the selection rule of the paper.
+    trusted:
+        Enable the zero-overhead fast path: operations dispatch through
+        :meth:`~repro.operators.base.Operator.apply_trusted`, skipping the
+        per-call operand validation and broadcast bookkeeping.  Only valid
+        when every operand is already integer-valued — the evaluator turns
+        this on after validating its fixed workload once, since the same
+        inputs are replayed across thousands of design points.  Results and
+        operation counts are bit-identical to the untrusted path.
     """
 
     def __init__(self, exact_adder: Operator, exact_multiplier: Operator,
                  approx_adder: Optional[Operator] = None,
                  approx_multiplier: Optional[Operator] = None,
-                 approximate_variables: Iterable[str] = ()) -> None:
+                 approximate_variables: Iterable[str] = (),
+                 trusted: bool = False) -> None:
         if exact_adder.kind is not OperatorKind.ADDER:
             raise InstrumentationError(f"{exact_adder.name} is not an adder")
         if exact_multiplier.kind is not OperatorKind.MULTIPLIER:
@@ -59,7 +68,12 @@ class ApproxContext:
         self._approx_adder = approx_adder
         self._approx_multiplier = approx_multiplier
         self._approximate_variables = frozenset(approximate_variables)
+        self._trusted = bool(trusted)
         self._profile = OperationProfile()
+        # Operator routing is a pure function of (kind, variables) for the
+        # life of the context; kernels name the same variable tuples on
+        # every call, so the resolution is memoized.
+        self._route: dict = {}
 
     # ------------------------------------------------------------ properties
 
@@ -72,6 +86,11 @@ class ApproxContext:
     def profile(self) -> OperationProfile:
         """Operation counts accumulated so far."""
         return self._profile
+
+    @property
+    def trusted(self) -> bool:
+        """Whether the context dispatches through the trusted fast path."""
+        return self._trusted
 
     @property
     def is_precise(self) -> bool:
@@ -89,7 +108,9 @@ class ApproxContext:
     def sub(self, a: ArrayLike, b: ArrayLike, variables: Sequence[str] = ()) -> np.ndarray:
         """Subtract ``b`` from ``a`` (executed on the adder as ``a + (-b)``)."""
         operator = self._select(OperatorKind.ADDER, variables)
-        b_arr = np.asarray(b)
+        # Validate before negating: a boolean or non-integral float ``b``
+        # must raise OperatorError like add/mul, not a raw NumPy TypeError.
+        b_arr = np.asarray(b) if self._trusted else as_int_array(b, "b")
         return self._execute(operator, a, -b_arr)
 
     def mul(self, a: ArrayLike, b: ArrayLike, variables: Sequence[str] = ()) -> np.ndarray:
@@ -117,18 +138,26 @@ class ApproxContext:
     # -------------------------------------------------------------- plumbing
 
     def _select(self, kind: OperatorKind, variables: Sequence[str]) -> Operator:
-        approximate = bool(self._approximate_variables.intersection(variables))
-        if kind is OperatorKind.ADDER:
-            if approximate and self._approx_adder is not None:
-                return self._approx_adder
-            return self._exact_adder
-        if approximate and self._approx_multiplier is not None:
-            return self._approx_multiplier
-        return self._exact_multiplier
+        key = (kind, tuple(variables))
+        operator = self._route.get(key)
+        if operator is None:
+            approximate = bool(self._approximate_variables.intersection(variables))
+            if kind is OperatorKind.ADDER:
+                operator = self._approx_adder \
+                    if approximate and self._approx_adder is not None else self._exact_adder
+            else:
+                operator = self._approx_multiplier \
+                    if approximate and self._approx_multiplier is not None \
+                    else self._exact_multiplier
+            self._route[key] = operator
+        return operator
 
     def _execute(self, operator: Operator, a: ArrayLike, b: ArrayLike) -> np.ndarray:
-        result = operator.apply(a, b)
-        self._profile.record(operator.name, int(np.asarray(result).size))
+        if self._trusted:
+            result = operator.apply_trusted(a, b)
+        else:
+            result = operator.apply(a, b)
+        self._profile.record(operator.name, int(result.size))
         return result
 
     def reset_profile(self) -> None:

@@ -26,6 +26,7 @@ from repro.operators.base import (
     Operator,
     OperatorCharacterization,
     OperatorKind,
+    as_int_array,
 )
 from repro.operators.calibrate import calibrate_adder, calibrate_multiplier
 from repro.operators.catalog import (
@@ -34,6 +35,12 @@ from repro.operators.catalog import (
     default_catalog,
     paper_adders,
     paper_multipliers,
+)
+from repro.operators.compiled import (
+    CompiledAdder,
+    CompiledMultiplier,
+    compile_operator,
+    is_compilable,
 )
 from repro.operators.characterization import (
     ErrorReport,
@@ -66,6 +73,11 @@ __all__ = [
     "BrokenArrayMultiplier",
     "LogMultiplier",
     "DrumMultiplier",
+    "CompiledAdder",
+    "CompiledMultiplier",
+    "compile_operator",
+    "is_compilable",
+    "as_int_array",
     "ErrorReport",
     "characterize",
     "error_distance",

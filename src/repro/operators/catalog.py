@@ -179,6 +179,7 @@ class OperatorCatalog:
                 raise ConfigurationError(f"duplicate operator name {entry.name!r}")
             self._by_name[entry.name] = entry
         self._instances: Dict[str, Operator] = {}
+        self._compiled_instances: Dict[str, Operator] = {}
 
     # ----------------------------------------------------------- collections
 
@@ -256,6 +257,22 @@ class OperatorCatalog:
         if name not in self._instances:
             self._instances[name] = self.entry(name).build()
         return self._instances[name]
+
+    def compiled_instance(self, name: str) -> Operator:
+        """Like :meth:`instance`, with LUT compilation applied where it helps.
+
+        Narrow approximate units come back as bit-identical
+        :mod:`repro.operators.compiled` lookup-table kernels; exact units
+        and units too wide to tabulate come back as the analytic instance
+        itself.  Compiled instances are cached per catalog and their tables
+        are shared process-wide, so repeated evaluators pay the table build
+        once.
+        """
+        if name not in self._compiled_instances:
+            from repro.operators.compiled import compile_operator
+
+            self._compiled_instances[name] = compile_operator(self.instance(name))
+        return self._compiled_instances[name]
 
     # ----------------------------------------------------------- restriction
 

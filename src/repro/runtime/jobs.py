@@ -261,8 +261,10 @@ class SweepJob:
     start, stop:
         Enumeration index range of the chunk (``stop`` is clamped to the
         space size at execution time).
-    signed_accuracy, restrict_to_benchmark_widths:
+    signed_accuracy, restrict_to_benchmark_widths, compiled:
         Evaluator settings; must match across the chunks of one sweep.
+        ``compiled`` selects the LUT-compiled fast path (bit-identical
+        results, same store keys — it only changes wall-clock).
     """
 
     benchmark_label: str
@@ -272,6 +274,7 @@ class SweepJob:
     stop: int
     signed_accuracy: bool = False
     restrict_to_benchmark_widths: bool = True
+    compiled: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "seed", int(self.seed))
@@ -291,7 +294,8 @@ def expand_sweep_jobs(benchmarks: Mapping[str, "Benchmark"],
                       seeds: Sequence[int] = (0,),
                       chunk_size: int = 256,
                       signed_accuracy: bool = False,
-                      restrict_to_benchmark_widths: bool = True) -> List[SweepJob]:
+                      restrict_to_benchmark_widths: bool = True,
+                      compiled: bool = True) -> List[SweepJob]:
     """Deterministically expand a sweep definition into its chunk jobs.
 
     The order is benchmark (mapping order) x seed x chunk (ascending index
@@ -329,6 +333,7 @@ def expand_sweep_jobs(benchmarks: Mapping[str, "Benchmark"],
                         stop=min(start + chunk_size, size),
                         signed_accuracy=signed_accuracy,
                         restrict_to_benchmark_widths=restrict_to_benchmark_widths,
+                        compiled=compiled,
                     )
                 )
     return jobs

@@ -82,8 +82,11 @@ def benchmark_fingerprint(benchmark: "Benchmark") -> str:
     """Content fingerprint of a benchmark instance.
 
     Covers the class, registry name, approximable variables, datapath widths
-    and every instance attribute (sizes, tap counts, amplitudes, ...), so two
-    instances describing the same kernel and workload share a fingerprint.
+    and every public instance attribute (sizes, tap counts, amplitudes, ...),
+    so two instances describing the same kernel and workload share a
+    fingerprint.  Underscore-prefixed attributes are internal caches (e.g.
+    memoized input names), not configuration, and are excluded so lazily
+    populated state cannot shift the fingerprint.
     """
     parts = [
         type(benchmark).__qualname__,
@@ -93,6 +96,8 @@ def benchmark_fingerprint(benchmark: "Benchmark") -> str:
         f"mul_width={benchmark.mul_width}",
     ]
     for attr, value in sorted(vars(benchmark).items()):
+        if attr.startswith("_"):
+            continue
         parts.append(f"{attr}={_stable_repr(value)}")
     return hashlib.sha1("|".join(parts).encode("utf-8")).hexdigest()[:16]
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import InstrumentationError
+from repro.errors import InstrumentationError, OperatorError
 from repro.instrumentation import ApproxContext, ApproxValue, OperationProfile
 from repro.operators import ExactAdder, ExactMultiplier, OperandTruncationMultiplier, TruncatedAdder
 
@@ -111,6 +111,30 @@ class TestApproxContext:
         assert int(result) == 6
         assert context.profile.count("exact_add") == 1
 
+    def test_sub_rejects_boolean_operand_with_operator_error(self, exact_units):
+        # Regression: sub negated b before validation, so booleans hit a raw
+        # NumPy TypeError instead of the OperatorError add/mul raise.
+        exact_adder, exact_multiplier = exact_units
+        context = ApproxContext(exact_adder, exact_multiplier)
+        with pytest.raises(OperatorError):
+            context.sub(10, np.array([True, False]))
+        with pytest.raises(OperatorError):
+            context.sub(10, True)
+
+    def test_sub_rejects_non_integral_float_with_operator_error(self, exact_units):
+        exact_adder, exact_multiplier = exact_units
+        context = ApproxContext(exact_adder, exact_multiplier)
+        with pytest.raises(OperatorError):
+            context.sub(10, 0.5)
+        with pytest.raises(OperatorError):
+            context.sub(10, np.array([1.0, 2.5]))
+
+    def test_sub_accepts_integral_floats(self, exact_units):
+        exact_adder, exact_multiplier = exact_units
+        context = ApproxContext(exact_adder, exact_multiplier)
+        result = context.sub(10, np.array([2.0, 4.0]))
+        np.testing.assert_array_equal(result, np.array([8, 6]))
+
     def test_accumulate_counts_chain_of_adds(self, exact_units):
         exact_adder, exact_multiplier = exact_units
         context = ApproxContext(exact_adder, exact_multiplier)
@@ -144,6 +168,54 @@ class TestApproxContext:
         assert context.is_precise
         context.add(5, 5, variables=("x",))
         assert context.profile.count("exact_add") == 1
+
+
+class TestTrustedContext:
+    def _contexts(self, exact_units, approx_units, selected=("x",)):
+        exact_adder, exact_multiplier = exact_units
+        approx_adder, approx_multiplier = approx_units
+        untrusted = ApproxContext(exact_adder, exact_multiplier, approx_adder,
+                                  approx_multiplier, approximate_variables=selected)
+        trusted = ApproxContext(exact_adder, exact_multiplier, approx_adder,
+                                approx_multiplier, approximate_variables=selected,
+                                trusted=True)
+        return untrusted, trusted
+
+    def test_trusted_flag_is_exposed(self, exact_units):
+        exact_adder, exact_multiplier = exact_units
+        assert not ApproxContext(exact_adder, exact_multiplier).trusted
+        assert ApproxContext(exact_adder, exact_multiplier, trusted=True).trusted
+
+    def test_trusted_results_match_untrusted(self, exact_units, approx_units):
+        untrusted, trusted = self._contexts(exact_units, approx_units)
+        rng = np.random.default_rng(0)
+        a = rng.integers(-1000, 1000, size=(8, 1))
+        b = rng.integers(-1000, 1000, size=(1, 8))
+        for variables in (("x",), ("y",)):
+            np.testing.assert_array_equal(
+                untrusted.add(a, b, variables=variables),
+                trusted.add(a, b, variables=variables),
+            )
+            np.testing.assert_array_equal(
+                untrusted.mul(a, b, variables=variables),
+                trusted.mul(a, b, variables=variables),
+            )
+            np.testing.assert_array_equal(
+                untrusted.sub(a, b, variables=variables),
+                trusted.sub(a, b, variables=variables),
+            )
+        assert untrusted.profile == trusted.profile
+
+    def test_trusted_broadcasting_counts_full_result(self, exact_units, approx_units):
+        _, trusted = self._contexts(exact_units, approx_units)
+        trusted.add(np.zeros((4, 1), dtype=np.int64), np.zeros((1, 5), dtype=np.int64))
+        assert trusted.profile.count("exact_add") == 20
+
+    def test_trusted_scalar_operations(self, exact_units, approx_units):
+        _, trusted = self._contexts(exact_units, approx_units)
+        assert int(trusted.add(3, 4)) == 7
+        assert int(trusted.mul(3, 4)) == 12
+        assert int(trusted.sub(9, 4)) == 5
 
 
 class TestApproxValue:
