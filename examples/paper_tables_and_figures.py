@@ -2,87 +2,58 @@
 
 Run with::
 
-    python examples/paper_tables_and_figures.py [--steps N] [--paper-scale]
+    python examples/paper_tables_and_figures.py \
+        [--paper-scale | --smoke] [--jobs N] [--out DIR] [--force]
 
-Prints Table I, Table II, Table III, the Figure 2/3 trend lines and the
-Figure 4 reward curves.  The defaults use reduced step budgets so the whole
-script finishes in well under a minute; ``--paper-scale`` switches to the
-paper's 10,000-step budget and the 50x50 matrix.
+This is a thin wrapper over the artifact pipeline (:mod:`repro.reporting`,
+also reachable as ``repro-axc paper``): the declared Table I/II/III and
+Figure 2/3/4 artifacts are expanded onto the experiment runtime, rendered
+into ``--out`` (markdown + JSON + ``manifest.json``) and printed.  Reruns
+are incremental — artifacts whose fingerprints and files are already up to
+date are served from disk.
+
+The default scale finishes in about a minute; ``--paper-scale`` switches to
+the paper's 10,000-step budget and the 50x50 matrix, ``--smoke`` to a
+seconds-long CI-sized pass.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.agents import QLearningAgent
-from repro.agents.schedules import LinearDecayEpsilon
-from repro.analysis import (
-    render_operator_table,
-    render_table3,
-    reward_curve,
-    trace_trends,
-)
-from repro.benchmarks import FirBenchmark, MatMulBenchmark
-from repro.dse import AxcDseEnv, Explorer
-from repro.operators import default_catalog
-
-
-def run_exploration(benchmark, steps: int, seed: int = 0):
-    environment = AxcDseEnv(benchmark, evaluation_seed=seed)
-    agent = QLearningAgent(
-        num_actions=environment.action_space.n,
-        epsilon=LinearDecayEpsilon(start=1.0, end=0.05, decay_steps=max(steps // 4, 1)),
-        seed=seed,
-    )
-    return environment, Explorer(environment, agent, max_steps=steps).run(seed=seed)
+from repro.reporting import PaperPipeline, paper_artifacts
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--steps", type=int, default=2000,
-                        help="exploration steps per benchmark (paper: 10000)")
-    parser.add_argument("--paper-scale", action="store_true",
-                        help="use the paper's benchmark sizes (includes the 50x50 matrix)")
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--paper-scale", action="store_true",
+                       help="the paper's full benchmark sizes and step budgets")
+    scale.add_argument("--smoke", action="store_true",
+                       help="tiny benchmarks and budgets (CI-sized)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (results identical to serial)")
+    parser.add_argument("--out", default="artifacts",
+                        help="output directory (default: artifacts/)")
+    parser.add_argument("--force", action="store_true",
+                        help="rebuild even up-to-date artifacts")
     args = parser.parse_args()
 
-    catalog = default_catalog()
-    print("Table I — selected adders")
-    print(render_operator_table(catalog, kind="adder", measure=True))
-    print("\nTable II — selected multipliers")
-    print(render_operator_table(catalog, kind="multiplier", measure=True))
+    scale_name = ("paper" if args.paper_scale
+                  else "smoke" if args.smoke else "default")
+    pipeline = PaperPipeline(paper_artifacts(scale_name), out_dir=args.out,
+                             jobs=args.jobs, force=args.force)
+    result = pipeline.run()
 
-    large_matmul = 50 if args.paper_scale else 20
-    suite = {
-        "matmul_10x10": MatMulBenchmark(rows=10, inner=10, cols=10),
-        f"matmul_{large_matmul}x{large_matmul}": MatMulBenchmark(
-            rows=large_matmul, inner=large_matmul, cols=large_matmul
-        ),
-        "fir_100": FirBenchmark(num_samples=100),
-        "fir_200": FirBenchmark(num_samples=200),
-    }
-
-    results = {}
-    environments = {}
-    for label, benchmark in suite.items():
-        environments[label], results[label] = run_exploration(benchmark, args.steps)
-        print(f"\nexplored {label}: {results[label].num_steps} steps, "
-              f"thresholds {environments[label].thresholds}")
-
-    print("\nTable III — exploration results")
-    for label, result in results.items():
-        print(render_table3({label: result}, environments[label].evaluator.catalog))
+    for status in result.statuses:
+        markdown = (result.out_dir / status.files[0]).read_text(encoding="utf-8")
+        print(markdown)
         print()
 
-    print("Figures 2-3 — per-step trend lines")
-    for label in ("matmul_10x10", "fir_100"):
-        trends = trace_trends(results[label])
-        line = ", ".join(f"{name} slope {trend.slope:+.4f}" for name, trend in trends.items())
-        print(f"  {label}: {line}")
-
-    print("\nFigure 4 — average reward per 100 steps")
-    for label in ("matmul_10x10", "fir_100"):
-        curve = reward_curve(results[label], window=100)
-        print(f"  {label}: " + ", ".join(f"{value:+.2f}" for value in curve.averages))
+    built = ", ".join(s.name for s in result.built) or "none (all cached)"
+    print(f"rebuilt: {built}")
+    print(f"artifacts + manifest in {result.out_dir}/ "
+          f"({result.wall_clock_s:.2f} s)")
 
 
 if __name__ == "__main__":

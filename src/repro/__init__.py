@@ -27,7 +27,12 @@ from scratch:
   metaheuristic baselines alike, and the single :func:`run_experiment`
   facade returning a serializable :class:`ExperimentReport`;
 * :mod:`repro.analysis` — trend lines, reward curves and table rendering
-  used to regenerate the paper's figures and tables.
+  used to regenerate the paper's figures and tables;
+* :mod:`repro.reporting` — the paper-artifact pipeline: frozen
+  :class:`ArtifactSpec` declarations bind experiment specs to typed
+  renderers, and :class:`PaperPipeline` regenerates every table and figure
+  incrementally into a fingerprint-keyed manifest (the ``repro-axc paper``
+  command).
 
 Quickstart::
 
@@ -88,6 +93,13 @@ from repro.experiments import (
     run_experiment,
 )
 from repro.operators import OperatorCatalog, default_catalog
+from repro.reporting import (
+    Artifact,
+    ArtifactSpec,
+    PaperPipeline,
+    PipelineResult,
+    paper_artifacts,
+)
 from repro.runtime import (
     AgentSpec,
     EvaluationStore,
@@ -101,7 +113,7 @@ from repro.runtime import (
     expand_sweep_jobs,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -150,4 +162,9 @@ __all__ = [
     "run_experiment",
     "register_agent",
     "agent_names",
+    "Artifact",
+    "ArtifactSpec",
+    "PaperPipeline",
+    "PipelineResult",
+    "paper_artifacts",
 ]

@@ -7,6 +7,7 @@ from repro.analysis.export import (
     write_trace_csv,
 )
 from repro.analysis.reporting import (
+    characterize_catalog,
     format_table,
     render_comparison,
     render_operator_table,
@@ -30,6 +31,7 @@ __all__ = [
     "reward_curves",
     "improvement_ratio",
     "format_table",
+    "characterize_catalog",
     "render_operator_table",
     "render_table3",
     "render_comparison",

@@ -7,14 +7,16 @@ summaries) and a free-form comparison table for the agent ablation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.dse.results import ExplorationResult, ObjectiveSummary
-from repro.operators.catalog import OperatorCatalog
-from repro.operators.characterization import characterize
+from repro.errors import ConfigurationError
+from repro.operators.catalog import CatalogEntry, OperatorCatalog
+from repro.operators.characterization import ErrorReport, characterize
 
 __all__ = [
     "format_table",
+    "characterize_catalog",
     "render_operator_table",
     "render_table3",
     "render_comparison",
@@ -37,21 +39,66 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
+def _catalog_entries(catalog: OperatorCatalog, kind: str) -> Sequence[CatalogEntry]:
+    if kind not in ("adder", "multiplier"):
+        raise ConfigurationError(
+            f"operator table kind must be 'adder' or 'multiplier', got {kind!r}"
+        )
+    return catalog.adders if kind == "adder" else catalog.multipliers
+
+
+def characterize_catalog(catalog: OperatorCatalog, kind: str = "adder",
+                         samples: int = 20000,
+                         ) -> List[Tuple[CatalogEntry, ErrorReport]]:
+    """Re-measure every catalog entry of one kind (the raw data of Tables I/II).
+
+    Parameters
+    ----------
+    catalog:
+        The operator catalog to characterise.
+    kind:
+        ``"adder"`` (Table I) or ``"multiplier"`` (Table II).
+    samples:
+        Operand pairs per operator for sampled characterisation (narrow
+        units are measured exhaustively regardless).
+
+    Returns
+    -------
+    One ``(entry, report)`` pair per catalog entry, in catalog order.  The
+    measurement is deterministic: sampled characterisation uses a fixed seed.
+    """
+    return [
+        (entry, characterize(catalog.instance(entry.name), samples=samples))
+        for entry in _catalog_entries(catalog, kind)
+    ]
+
+
 def render_operator_table(catalog: OperatorCatalog, kind: str = "adder",
-                          measure: bool = True, samples: int = 20000) -> str:
+                          measure: bool = True, samples: int = 20000,
+                          reports: Optional[Sequence[ErrorReport]] = None) -> str:
     """Reproduce Table I (``kind="adder"``) or Table II (``kind="multiplier"``).
 
     The published MRED / power / delay are always shown; when ``measure`` is
     true the behavioural model's re-measured MRED is added alongside, which
-    is how the reproduction validates its catalog.
+    is how the reproduction validates its catalog.  Callers that already
+    hold the measurements (see :func:`characterize_catalog`) can pass them
+    as ``reports`` — in catalog order — to avoid re-measuring.
     """
-    entries = catalog.adders if kind == "adder" else catalog.multipliers
+    entries = _catalog_entries(catalog, kind)
     headers = ["operator", "width", "MRED % (paper)", "power (mW)", "time (ns)"]
     if measure:
         headers.append("MRED % (measured)")
+        if reports is None:
+            reports = [report for _, report in
+                       characterize_catalog(catalog, kind=kind, samples=samples)]
+        if len(reports) != len(entries):
+            raise ConfigurationError(
+                f"expected {len(entries)} characterisation report(s) for "
+                f"kind {kind!r}, got {len(reports)}"
+            )
 
     rows: List[List[object]] = []
-    for entry in entries:
+    for index, entry in enumerate(entries):
         row: List[object] = [
             entry.name,
             entry.width,
@@ -60,8 +107,7 @@ def render_operator_table(catalog: OperatorCatalog, kind: str = "adder",
             f"{entry.published.delay_ns:.3f}",
         ]
         if measure:
-            report = characterize(catalog.instance(entry.name), samples=samples)
-            row.append(f"{report.mred_percent:.3f}")
+            row.append(f"{reports[index].mred_percent:.3f}")
         rows.append(row)
     return format_table(headers, rows)
 

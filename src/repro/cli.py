@@ -13,6 +13,9 @@
   evaluation store (``--store``);
 * ``sweep`` — exhaustively evaluate whole design spaces (chunked, same
   runtime) and print each benchmark's ground-truth Pareto front;
+* ``paper`` — regenerate every table and figure of the paper through the
+  artifact pipeline (incremental, fingerprinted, parallel; see
+  :mod:`repro.reporting`);
 * ``list-benchmarks`` / ``list-agents`` — show the registries.
 
 ``explore``, ``compare``, ``campaign`` and ``sweep`` are thin builders:
@@ -45,7 +48,12 @@ from repro.analysis import (
 )
 from repro.benchmarks import available
 from repro.benchmarks.registry import PAPER_BENCHMARK_PARAMS
-from repro.errors import ConfigurationError, ReproError, UnknownBenchmarkError
+from repro.errors import (
+    ConfigurationError,
+    ReportingError,
+    ReproError,
+    UnknownBenchmarkError,
+)
 from repro.experiments import (
     BenchmarkSpec,
     ExperimentAgentSpec,
@@ -179,9 +187,53 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--out", default=None, metavar="PATH",
                        help="write the true fronts as JSON")
 
+    paper = subparsers.add_parser(
+        "paper",
+        help="regenerate the paper's tables and figures (incremental pipeline)",
+    )
+    paper.add_argument("--artifacts", nargs="+", default=None, metavar="NAME",
+                       help="artifact subset to regenerate (default: all; "
+                            "see --list for the declared names)")
+    scale = paper.add_mutually_exclusive_group()
+    scale.add_argument("--paper-scale", action="store_true",
+                       help="the paper's full protocol (50x50 matrix, "
+                            "10000-step explorations)")
+    scale.add_argument("--smoke", action="store_true",
+                       help="CI-sized artifacts: tiny benchmarks, tens of steps")
+    paper.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for experiment expansion "
+                            "(results are identical to serial)")
+    paper.add_argument("--store", default=None, metavar="PATH",
+                       help="sqlite file persisting the evaluation store across runs")
+    paper.add_argument("--out", default="artifacts", metavar="DIR",
+                       help="output directory for the rendered artifacts and "
+                            "manifest.json (default: artifacts/)")
+    paper.add_argument("--force", action="store_true",
+                       help="rebuild even artifacts whose manifest entries are "
+                            "up to date")
+    paper.add_argument("--list", action="store_true", dest="list_artifacts",
+                       help="list the declared artifacts and exit")
+
     subparsers.add_parser("list-benchmarks", help="list the registered benchmarks")
     subparsers.add_parser("list-agents", help="list the registered agent families")
     return parser
+
+
+# ------------------------------------------------------------ output writing
+
+
+def _write_output(path: Path, text: str, what: str) -> None:
+    """Write a report file, creating missing parent directories.
+
+    Unwritable destinations (permission problems, a file where a directory
+    is needed, ...) surface as :class:`ConfigurationError` — one line on
+    stderr and exit status 2, never a traceback.
+    """
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot write {what} to {path}: {exc}") from exc
 
 
 # ------------------------------------------------------------ shared printers
@@ -359,7 +411,7 @@ def _command_run(args: argparse.Namespace) -> int:
 
     if args.out is not None:
         out_path = Path(args.out)
-        out_path.write_text(report.to_json())
+        _write_output(out_path, report.to_json(), "experiment report")
         print(f"Report written to {out_path}")
     return status
 
@@ -418,10 +470,51 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if args.out is not None:
         payload = [entry.metrics for entry in report.entries]
         out_path = Path(args.out)
-        out_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        _write_output(out_path, json.dumps(payload, indent=2, sort_keys=True),
+                      "sweep fronts")
         print(f"\nFronts written to {out_path}")
 
     _print_store_line(report)
+    return 0
+
+
+def _command_paper(args: argparse.Namespace) -> int:
+    from repro.reporting import PaperPipeline, paper_artifacts
+    from repro.reporting.pipeline import select_artifacts
+
+    scale = "paper" if args.paper_scale else ("smoke" if args.smoke else "default")
+    artifacts = select_artifacts(paper_artifacts(scale), args.artifacts)
+
+    if args.list_artifacts:
+        for spec in artifacts:
+            experiments = ", ".join(sorted(spec.experiment_fingerprints()))
+            print(f"{spec.name:8s} [{spec.kind:6s}] {spec.title}"
+                  + (f"  (experiments: {experiments})" if experiments else ""))
+        return 0
+
+    out_dir = Path(args.out)
+    try:  # fail early with exit 2 when the destination is unwritable
+        out_dir.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot create artifact directory {out_dir}: {exc}"
+        ) from exc
+
+    pipeline = PaperPipeline(artifacts, out_dir=out_dir, jobs=args.jobs,
+                             store_path=args.store, force=args.force)
+    print(f"Paper artifacts at {scale} scale -> {out_dir}"
+          + (f" ({args.jobs} worker processes)" if args.jobs > 1 else ""))
+    result = pipeline.run()
+
+    for status in result.statuses:
+        print(f"  {status.name:8s} {status.state:6s} {' '.join(status.files)}")
+    if result.reports:
+        store = result.store
+        print(f"\nEvaluation store: {store['size']} cached design points, "
+              f"{store['hits']} hits / {store['lookups']} lookups"
+              + (f", persisted to {store['path']}" if store["path"] else ""))
+    print(f"Manifest: {pipeline.manifest_path}")
+    print(f"Wall-clock: {result.wall_clock_s:.2f} s")
     return 0
 
 
@@ -445,11 +538,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point.
 
     Configuration mistakes (unknown benchmarks/agents, invalid specs —
-    :class:`UnknownBenchmarkError` / :class:`ConfigurationError`) print a
-    one-line error to stderr and exit with status 2 instead of a raw
-    traceback; execution failures inside a campaign are captured per job
-    and reported with exit status 1.  Other runtime errors propagate with
-    their traceback — they indicate bugs, not configuration.
+    :class:`UnknownBenchmarkError` / :class:`ConfigurationError`, including
+    unwritable ``--out`` destinations) print a one-line error to stderr and
+    exit with status 2 instead of a raw traceback; execution failures inside
+    a campaign or the artifact pipeline (:class:`ReportingError`) are
+    reported with exit status 1.  Other runtime errors propagate with their
+    traceback — they indicate bugs, not configuration.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -460,6 +554,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _command_compare,
         "campaign": _command_campaign,
         "sweep": _command_sweep,
+        "paper": _command_paper,
         "list-benchmarks": _command_list_benchmarks,
         "list-agents": _command_list_agents,
     }
@@ -471,6 +566,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except ReportingError as exc:
+        # Artifact-pipeline execution failures: one line, exit 1 (the
+        # configuration was fine; something failed while running it).
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -301,7 +301,21 @@ class FrontQuality:
 
 
 def front_quality(front: Iterable, reference_front: Iterable) -> FrontQuality:
-    """Score a discovered front against a reference (e.g. ground-truth) front."""
+    """Score a discovered front against a reference (e.g. ground-truth) front.
+
+    Parameters
+    ----------
+    front:
+        The discovered front: step records (or anything with ``deltas``).
+    reference_front:
+        The yardstick front, typically a :class:`~repro.dse.sweep.SweepResult`
+        ground truth.
+
+    Returns
+    -------
+    A :class:`FrontQuality` with the coverage (fraction of the reference
+    reached) and the hypervolume-proxy ratio of the two fronts.
+    """
     front = list(front)
     reference_front = list(reference_front)
     union = objective_matrix(front + reference_front)

@@ -187,10 +187,30 @@ def run_sweep(benchmarks: Mapping[str, Benchmark],
               compiled: bool = True) -> List[SweepResult]:
     """Exhaustively evaluate every design space and extract its true front.
 
-    Returns one :class:`SweepResult` per (benchmark, seed), in definition
-    order.  Chunks run on ``executor`` (serial by default) against the
-    shared ``store``; any failed chunk raises :class:`ExplorationError`
-    after every chunk has had the chance to run.
+    Parameters
+    ----------
+    benchmarks:
+        Benchmarks keyed by label; each (benchmark, seed) pair is swept.
+    seeds:
+        Workload seeds to sweep each benchmark under.
+    executor:
+        The :class:`~repro.runtime.executor.Executor` chunks run on
+        (serial by default; results are identical either way).
+    store:
+        Shared :class:`~repro.runtime.store.EvaluationStore` warm-starting
+        the sweep and receiving every new evaluation.
+    chunk_size:
+        Design points per chunk job.
+    signed_accuracy, restrict_to_benchmark_widths:
+        Evaluator options, forwarded unchanged to every chunk.
+    compiled:
+        Evaluate on LUT-compiled operator kernels (bit-identical).
+
+    Returns
+    -------
+    One :class:`SweepResult` per (benchmark, seed), in definition order.
+    Any failed chunk raises :class:`ExplorationError` after every chunk has
+    had the chance to run.
     """
     executor = executor if executor is not None else SerialExecutor()
     store = store if store is not None else EvaluationStore()

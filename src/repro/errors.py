@@ -80,3 +80,7 @@ class AgentError(ReproError):
 
 class AnalysisError(ReproError):
     """Post-processing of exploration results failed."""
+
+
+class ReportingError(ReproError):
+    """The artifact pipeline could not produce or publish an artifact."""

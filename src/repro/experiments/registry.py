@@ -75,7 +75,23 @@ _FAMILIES: Dict[str, AgentFamily] = {}
 def register_agent(name: str, kind: str, builder: Callable[..., object],
                    description: str = "",
                    defaults: Mapping[str, object] = ()) -> None:
-    """Register an agent family under ``name`` (see module docstring)."""
+    """Register an agent family under ``name`` (see module docstring).
+
+    Parameters
+    ----------
+    name:
+        Registry name users write in specs and ``--agents`` flags.
+    kind:
+        ``"rl"`` (environment step-loop agents) or ``"baseline"``
+        (self-driving metaheuristics).
+    builder:
+        Callable constructing the agent; receives the family defaults
+        merged with per-spec hyperparameter overrides.
+    description:
+        One-liner shown by ``repro-axc list-agents``.
+    defaults:
+        Hyperparameter defaults merged under any overrides.
+    """
     if not name:
         raise ConfigurationError("agent name must be non-empty")
     if name in _FAMILIES:

@@ -320,5 +320,12 @@ class OperatorCatalog:
 
 
 def default_catalog() -> OperatorCatalog:
-    """The catalog reproducing the paper's component database (Tables I & II)."""
+    """The catalog reproducing the paper's component database (Tables I & II).
+
+    Returns
+    -------
+    A fresh :class:`OperatorCatalog` holding the paper's selected adders and
+    multipliers (published MRED / power / delay plus behavioural models),
+    each list sorted by increasing published MRED as the paper indexes them.
+    """
     return OperatorCatalog(adders=paper_adders(), multipliers=paper_multipliers())

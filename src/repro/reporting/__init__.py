@@ -1,0 +1,51 @@
+"""Paper-artifact pipeline: declarative, cached regeneration of every output.
+
+The paper's deliverables — Tables I-III and Figures 2-4 — are *artifacts*:
+rendered documents derived from experiments.  This package makes each one a
+first-class, fingerprinted object:
+
+* :mod:`~repro.reporting.artifact` — the data model: a frozen
+  :class:`ArtifactSpec` binds one or more
+  :class:`~repro.experiments.spec.ExperimentSpec` documents to a named
+  renderer; rendering produces an :class:`Artifact` (markdown + JSON data)
+  written as ``<name>.md`` / ``<name>.json``;
+* :mod:`~repro.reporting.renderers` — the typed ``render(spec, reports) ->
+  Artifact`` implementations behind the paper's tables and figures;
+* :mod:`~repro.reporting.paper` — :func:`paper_artifacts`, the declared
+  artifact set of the reproduction at three scales (``paper`` /
+  ``default`` / ``smoke``);
+* :mod:`~repro.reporting.pipeline` — :class:`PaperPipeline`, which expands
+  the artifact set onto the jobs/executor/store runtime (experiments
+  deduplicated by fingerprint, evaluations cached in one shared
+  :class:`~repro.runtime.store.EvaluationStore`, compiled kernels on),
+  writes the rendered files plus a ``manifest.json`` keyed by artifact
+  fingerprints, and skips artifacts whose fingerprints and files are
+  already up to date — reruns are incremental and bit-reproducible.
+
+The CLI front end is ``repro-axc paper``.
+"""
+
+from repro.reporting.artifact import (
+    Artifact,
+    ArtifactSpec,
+    register_renderer,
+    renderer_names,
+)
+from repro.reporting.paper import PAPER_SCALES, paper_artifact_names, paper_artifacts
+from repro.reporting.pipeline import ArtifactStatus, PaperPipeline, PipelineResult
+
+# Importing the module registers the built-in renderers with the registry.
+from repro.reporting import renderers as _renderers  # noqa: F401  (registration)
+
+__all__ = [
+    "Artifact",
+    "ArtifactSpec",
+    "register_renderer",
+    "renderer_names",
+    "PAPER_SCALES",
+    "paper_artifacts",
+    "paper_artifact_names",
+    "PaperPipeline",
+    "PipelineResult",
+    "ArtifactStatus",
+]

@@ -1,0 +1,300 @@
+"""The artifact data model: specs, rendered artifacts, renderer registry.
+
+An :class:`ArtifactSpec` is the declarative description of one paper output
+(a table or a figure): which experiments produce its inputs, which renderer
+turns their reports into a document, and the renderer's parameters.  Like
+:class:`~repro.experiments.spec.ExperimentSpec` it is frozen, validated at
+construction and *fingerprinted*: :meth:`ArtifactSpec.fingerprint` hashes the
+renderer identity, its parameters and the fingerprints of every bound
+experiment, so an artifact's fingerprint changes exactly when its content
+would.  The pipeline keys its ``manifest.json`` on these fingerprints to
+decide what is stale.
+
+Rendering produces an :class:`Artifact` — a markdown document plus a
+JSON-serializable data payload — written as ``<name>.md`` and
+``<name>.json``.  Both are byte-stable for a fixed spec: serial and parallel
+pipeline runs produce identical files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Tuple, Union
+
+from repro.errors import ConfigurationError, ReportingError
+from repro.experiments.spec import ExperimentSpec
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "ARTIFACT_FORMAT_VERSION",
+    "Artifact",
+    "ArtifactSpec",
+    "register_renderer",
+    "renderer_names",
+    "get_renderer",
+]
+
+#: The artifact shapes the pipeline knows how to publish.
+ARTIFACT_KINDS = ("table", "figure")
+
+#: Bumped whenever the rendered file formats change incompatibly, so stale
+#: manifests from older layouts are invalidated even when the experiment
+#: fingerprints still match.
+ARTIFACT_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------- renderers
+
+_RENDERERS: Dict[str, Callable] = {}
+
+
+def register_renderer(name: str) -> Callable[[Callable], Callable]:
+    """Register a renderer under ``name`` (decorator).
+
+    A renderer is a callable ``render(spec, reports) -> Artifact`` taking the
+    :class:`ArtifactSpec` being rendered and a mapping from the spec's
+    experiment keys to their finished
+    :class:`~repro.experiments.report.ExperimentReport` objects.
+    """
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(f"renderer name must be a non-empty string, got {name!r}")
+
+    def decorator(fn: Callable) -> Callable:
+        if name in _RENDERERS:
+            raise ConfigurationError(f"renderer {name!r} is already registered")
+        _RENDERERS[name] = fn
+        return fn
+
+    return decorator
+
+
+def renderer_names() -> Tuple[str, ...]:
+    """The names of every registered renderer."""
+    _ensure_builtin_renderers()
+    return tuple(_RENDERERS)
+
+
+def get_renderer(name: str) -> Callable:
+    """Look up a registered renderer by name."""
+    _ensure_builtin_renderers()
+    try:
+        return _RENDERERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown renderer {name!r}; registered renderers: "
+            f"{', '.join(sorted(_RENDERERS))}"
+        ) from None
+
+
+def _ensure_builtin_renderers() -> None:
+    # The built-in renderers live in their own module and register themselves
+    # on import; importing lazily here keeps artifact.py usable on its own.
+    import repro.reporting.renderers  # noqa: F401
+
+
+# ------------------------------------------------------------------ artifact
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One rendered paper output: a markdown document plus its data payload.
+
+    ``markdown`` is the human-readable document; ``data`` is the
+    machine-readable equivalent (plain JSON types only) from which the
+    document could be re-rendered or re-plotted.  :meth:`write` publishes
+    both as ``<name>.md`` / ``<name>.json``.
+    """
+
+    name: str
+    title: str
+    kind: str
+    markdown: str
+    data: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check_slug(self.name, "artifact name")
+        if self.kind not in ARTIFACT_KINDS:
+            raise ConfigurationError(
+                f"artifact kind must be one of {ARTIFACT_KINDS}, got {self.kind!r}"
+            )
+        if not isinstance(self.title, str) or not self.title:
+            raise ConfigurationError(
+                f"artifact title must be a non-empty string, got {self.title!r}"
+            )
+        if not isinstance(self.markdown, str) or not self.markdown:
+            raise ConfigurationError("artifact markdown must be a non-empty string")
+        data = dict(_require_mapping(self.data, "artifact data"))
+        try:
+            json.dumps(data)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"artifact data must be JSON-serializable: {exc}"
+            ) from exc
+        object.__setattr__(self, "data", data)
+
+    @property
+    def file_names(self) -> Tuple[str, str]:
+        """The relative file names :meth:`write` produces."""
+        return (f"{self.name}.md", f"{self.name}.json")
+
+    def write(self, directory: Union[str, Path]) -> List[str]:
+        """Write the markdown and JSON files into ``directory``.
+
+        Returns the relative file names written.  Output is byte-stable:
+        JSON is serialized with sorted keys and a fixed indent, and both
+        files end with a single trailing newline.
+        """
+        directory = Path(directory)
+        markdown_name, json_name = self.file_names
+        markdown_text = self.markdown if self.markdown.endswith("\n") else self.markdown + "\n"
+        json_text = json.dumps(self.data, indent=2, sort_keys=True) + "\n"
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / markdown_name).write_text(markdown_text, encoding="utf-8")
+            (directory / json_name).write_text(json_text, encoding="utf-8")
+        except OSError as exc:
+            raise ReportingError(
+                f"cannot write artifact {self.name!r} into {directory}: {exc}"
+            ) from exc
+        return [markdown_name, json_name]
+
+
+# ------------------------------------------------------------- artifact spec
+
+
+@dataclass(frozen=True)
+class ArtifactSpec:
+    """A declared paper output: experiments in, one rendered artifact out.
+
+    Parameters
+    ----------
+    name:
+        Slug identifying the artifact (``table1``, ``fig4``); also the stem
+        of the written files.
+    title:
+        Human-readable title carried into the rendered document.
+    kind:
+        ``"table"`` or ``"figure"``.
+    renderer:
+        Name of a registered renderer (see :func:`register_renderer`).
+    experiments:
+        Mapping from renderer-visible keys to the
+        :class:`~repro.experiments.spec.ExperimentSpec` documents whose
+        reports the renderer consumes.  May be empty for artifacts computed
+        directly from static inputs (the operator-characterisation tables).
+    params:
+        JSON-serializable renderer parameters (sample counts, benchmark
+        labels to plot, window sizes, ...).
+    """
+
+    name: str
+    title: str
+    kind: str
+    renderer: str
+    experiments: Mapping[str, ExperimentSpec] = field(default_factory=dict)
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check_slug(self.name, "artifact name")
+        if self.kind not in ARTIFACT_KINDS:
+            raise ConfigurationError(
+                f"artifact kind must be one of {ARTIFACT_KINDS}, got {self.kind!r}"
+            )
+        if not isinstance(self.title, str) or not self.title:
+            raise ConfigurationError(
+                f"artifact title must be a non-empty string, got {self.title!r}"
+            )
+        get_renderer(self.renderer)  # raises ConfigurationError for unknown names
+        experiments = dict(_require_mapping(self.experiments, "artifact experiments"))
+        for key, spec in experiments.items():
+            _check_slug(key, "artifact experiment key")
+            if not isinstance(spec, ExperimentSpec):
+                raise ConfigurationError(
+                    f"artifact experiment {key!r} must be an ExperimentSpec, "
+                    f"got {type(spec).__name__}"
+                )
+        object.__setattr__(self, "experiments", experiments)
+        params = dict(_require_mapping(self.params, "artifact params"))
+        try:
+            json.dumps(params)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"artifact params must be JSON-serializable: {exc}"
+            ) from exc
+        object.__setattr__(self, "params", params)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of everything that determines the artifact.
+
+        Covers the renderer identity and parameters, the fingerprints of all
+        bound experiments and the artifact format version — the same fields
+        the manifest records, so a manifest entry with a matching
+        fingerprint is guaranteed up to date.
+        """
+        payload = {
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "name": self.name,
+            "title": self.title,
+            "kind": self.kind,
+            "renderer": self.renderer,
+            "params": dict(self.params),
+            "experiments": {key: spec.fingerprint()
+                            for key, spec in self.experiments.items()},
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def experiment_fingerprints(self) -> Dict[str, str]:
+        """Per-key experiment fingerprints (recorded in the manifest)."""
+        return {key: spec.fingerprint() for key, spec in self.experiments.items()}
+
+    def render(self, reports: Mapping[str, object]) -> Artifact:
+        """Render this artifact from the finished experiment reports.
+
+        ``reports`` maps this spec's experiment keys to
+        :class:`~repro.experiments.report.ExperimentReport` objects; every
+        key declared in :attr:`experiments` must be present.  The renderer's
+        output is checked to match the spec's name and kind.
+        """
+        missing = sorted(set(self.experiments) - set(reports))
+        if missing:
+            raise ReportingError(
+                f"artifact {self.name!r} is missing report(s) for experiment "
+                f"key(s) {missing}"
+            )
+        artifact = get_renderer(self.renderer)(self, reports)
+        if not isinstance(artifact, Artifact):
+            raise ReportingError(
+                f"renderer {self.renderer!r} returned "
+                f"{type(artifact).__name__}, expected an Artifact"
+            )
+        if artifact.name != self.name or artifact.kind != self.kind:
+            raise ReportingError(
+                f"renderer {self.renderer!r} produced artifact "
+                f"{artifact.name!r}/{artifact.kind!r} for spec "
+                f"{self.name!r}/{self.kind!r}"
+            )
+        return artifact
+
+
+# ------------------------------------------------------------------- helpers
+
+
+def _check_slug(value: object, context: str) -> None:
+    if (not isinstance(value, str) or not value
+            or not all(ch.isalnum() or ch in "-_" for ch in value)):
+        raise ConfigurationError(
+            f"{context} must be a non-empty slug (letters, digits, '-', '_'), "
+            f"got {value!r}"
+        )
+
+
+def _require_mapping(payload: object, context: str) -> Mapping[str, object]:
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(
+            f"{context} must be a mapping, got {type(payload).__name__}"
+        )
+    return payload

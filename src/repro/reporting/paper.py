@@ -1,0 +1,171 @@
+"""The declared artifact set of the reproduction, at three scales.
+
+:func:`paper_artifacts` returns the frozen :class:`ArtifactSpec` set for
+Tables I-III and Figures 2-4.  All exploration-backed artifacts (Table III,
+Figures 2-4) bind the *same* campaign :class:`ExperimentSpec`, so the
+pipeline runs it once and every evaluation lands in one shared store.
+
+Scales
+------
+``paper``
+    The paper's full protocol: the 10x10 and 50x50 matrix multiplications,
+    the 100- and 200-sample FIR filters, 10,000 exploration steps, 20,000
+    characterisation samples per operator.
+``default``
+    The same structure at budgets that finish in about a minute: a 20x20
+    matrix stands in for the 50x50 one and explorations run 2,000 steps.
+``smoke``
+    CI-sized: two tiny benchmarks and tens of steps, exercising every
+    renderer and the whole pipeline in seconds.
+
+Changing scale changes an artifact's fingerprint exactly when its content
+would change: the exploration-backed artifacts (Table III, Figures 2-4)
+always differ across scales because their bound campaign differs, while
+the operator tables differ only when their characterisation parameters do
+(``paper`` and ``default`` share ``samples=20000``, so Table I/II stay
+cached across those two scales — correctly, since their content is
+identical).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.spec import BenchmarkSpec, ExperimentAgentSpec, ExperimentSpec
+from repro.reporting.artifact import ArtifactSpec
+
+__all__ = ["PAPER_SCALES", "paper_artifacts", "paper_artifact_names"]
+
+#: The supported regeneration scales, in decreasing fidelity.
+PAPER_SCALES = ("paper", "default", "smoke")
+
+#: Per-scale knobs: benchmark line-up (paper labels or parameterized refs),
+#: which labels Figures 2/3/4 plot, exploration budget, characterisation
+#: samples and the Figure-4 averaging window.
+_SCALE_SETTINGS: Dict[str, Dict[str, object]] = {
+    "paper": {
+        "benchmarks": ("matmul_10x10", "matmul_50x50", "fir_100", "fir_200"),
+        "fig2": ("matmul_10x10", "matmul_50x50"),
+        "fig3": ("fir_100", "fir_200"),
+        "fig4": ("matmul_10x10", "fir_100"),
+        "max_steps": 10000,
+        "samples": 20000,
+        "window": 100,
+    },
+    "default": {
+        "benchmarks": ("matmul_10x10", "matmul:rows=20,inner=20,cols=20",
+                       "fir_100", "fir_200"),
+        "fig2": ("matmul_10x10", "matmul:rows=20,inner=20,cols=20"),
+        "fig3": ("fir_100", "fir_200"),
+        "fig4": ("matmul_10x10", "fir_100"),
+        "max_steps": 2000,
+        "samples": 20000,
+        "window": 100,
+    },
+    "smoke": {
+        "benchmarks": ("matmul:rows=4,inner=4,cols=4", "fir:num_samples=30"),
+        "fig2": ("matmul:rows=4,inner=4,cols=4",),
+        "fig3": ("fir:num_samples=30",),
+        "fig4": ("matmul:rows=4,inner=4,cols=4", "fir:num_samples=30"),
+        "max_steps": 40,
+        "samples": 512,
+        "window": 10,
+    },
+}
+
+
+def _exploration_spec(settings: Mapping[str, object]) -> ExperimentSpec:
+    """The one campaign behind Table III and Figures 2-4 at a given scale."""
+    return ExperimentSpec(
+        kind="campaign",
+        benchmarks=tuple(BenchmarkSpec.parse(text)
+                         for text in settings["benchmarks"]),
+        agents=(ExperimentAgentSpec("q-learning"),),
+        seeds=(0,),
+        max_steps=settings["max_steps"],
+        description="paper-artifact exploration campaign",
+    )
+
+
+def _labels(settings: Mapping[str, object], key: str) -> Tuple[str, ...]:
+    """Resolve a settings benchmark line-up to campaign labels."""
+    return tuple(BenchmarkSpec.parse(text).label for text in settings[key])
+
+
+def paper_artifacts(scale: str = "default") -> Tuple[ArtifactSpec, ...]:
+    """The declared artifact set of the paper at the given scale.
+
+    Parameters
+    ----------
+    scale:
+        One of :data:`PAPER_SCALES` (``paper`` / ``default`` / ``smoke``).
+
+    Returns
+    -------
+    The six :class:`ArtifactSpec` objects — ``table1``, ``table2``,
+    ``table3``, ``fig2``, ``fig3``, ``fig4`` — in publication order.
+    """
+    if scale not in PAPER_SCALES:
+        raise ConfigurationError(
+            f"unknown paper scale {scale!r}; expected one of {PAPER_SCALES}"
+        )
+    settings = _SCALE_SETTINGS[scale]
+    explorations = _exploration_spec(settings)
+    samples = settings["samples"]
+    window = settings["window"]
+
+    return (
+        ArtifactSpec(
+            name="table1",
+            title="Table I — selected approximate adders",
+            kind="table",
+            renderer="operator-table",
+            params={"operator_kind": "adder", "samples": samples, "measure": True},
+        ),
+        ArtifactSpec(
+            name="table2",
+            title="Table II — selected approximate multipliers",
+            kind="table",
+            renderer="operator-table",
+            params={"operator_kind": "multiplier", "samples": samples,
+                    "measure": True},
+        ),
+        ArtifactSpec(
+            name="table3",
+            title="Table III — exploration results",
+            kind="table",
+            renderer="table3",
+            experiments={"explorations": explorations},
+        ),
+        ArtifactSpec(
+            name="fig2",
+            title="Figure 2 — matrix-multiplication exploration trends",
+            kind="figure",
+            renderer="trace-trends",
+            experiments={"explorations": explorations},
+            params={"benchmarks": list(_labels(settings, "fig2"))},
+        ),
+        ArtifactSpec(
+            name="fig3",
+            title="Figure 3 — FIR exploration trends",
+            kind="figure",
+            renderer="trace-trends",
+            experiments={"explorations": explorations},
+            params={"benchmarks": list(_labels(settings, "fig3"))},
+        ),
+        ArtifactSpec(
+            name="fig4",
+            title="Figure 4 — average reward per window",
+            kind="figure",
+            renderer="reward-curves",
+            experiments={"explorations": explorations},
+            params={"benchmarks": list(_labels(settings, "fig4")),
+                    "window": window},
+        ),
+    )
+
+
+def paper_artifact_names() -> Tuple[str, ...]:
+    """The names of the declared paper artifacts, in publication order."""
+    return ("table1", "table2", "table3", "fig2", "fig3", "fig4")

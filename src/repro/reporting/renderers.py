@@ -1,0 +1,317 @@
+"""The built-in renderers behind the paper's tables and figures.
+
+Each renderer is a typed ``render(spec, reports) -> Artifact`` callable
+registered by name (see
+:func:`~repro.reporting.artifact.register_renderer`):
+
+* ``operator-table`` — Tables I/II: the catalog's published characterisation
+  next to the behavioural models' re-measured MRED;
+* ``table3`` — Table III: the min/solution/max objective summary and the
+  selected operators of every exploration in the bound campaign;
+* ``trace-trends`` — Figures 2/3: the per-step Δpower/Δtime/Δacc series of
+  selected benchmarks with their least-squares trend lines;
+* ``reward-curves`` — Figure 4: the average reward per window of steps.
+
+Every renderer produces a markdown document plus a JSON data payload from
+which the document (or the original matplotlib figure) can be rebuilt.
+Rendering is deterministic: for fixed experiment reports the output bytes
+never change, which is what makes pipeline manifests fingerprint-stable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.analysis.reporting import (
+    characterize_catalog,
+    format_table,
+    render_operator_table,
+    render_table3,
+)
+from repro.analysis.reward_curves import reward_curve
+from repro.analysis.trends import exploration_trace, trace_trends
+from repro.errors import ConfigurationError, ReportingError
+from repro.operators import default_catalog
+from repro.reporting.artifact import Artifact, ArtifactSpec, register_renderer
+
+__all__ = [
+    "render_operator_table_artifact",
+    "render_table3_artifact",
+    "render_trace_trends_artifact",
+    "render_reward_curves_artifact",
+]
+
+
+# ------------------------------------------------------------------- helpers
+
+
+def _sequence_of_labels(value: object, context: str) -> Tuple[str, ...]:
+    """Validate a params entry naming benchmark labels."""
+    if (isinstance(value, (str, bytes)) or not isinstance(value, Sequence)
+            or not value or not all(isinstance(item, str) for item in value)):
+        raise ConfigurationError(
+            f"{context} must be a non-empty list of benchmark labels, got {value!r}"
+        )
+    return tuple(value)
+
+
+def _document(spec: ArtifactSpec, *sections: str) -> str:
+    """Assemble a markdown document: title header plus body sections."""
+    return "\n\n".join([f"# {spec.title}"] + [s.rstrip() for s in sections if s])
+
+
+def _code_block(text: str) -> str:
+    """Wrap a fixed-width text table in a markdown code fence."""
+    return f"```\n{text.rstrip()}\n```"
+
+
+def _base_data(spec: ArtifactSpec) -> Dict[str, object]:
+    """The provenance block every artifact's data payload starts from."""
+    return {
+        "artifact": spec.name,
+        "title": spec.title,
+        "kind": spec.kind,
+        "provenance": {
+            "fingerprint": spec.fingerprint(),
+            "experiments": spec.experiment_fingerprints(),
+        },
+    }
+
+
+def _results_by_label(report) -> Dict[str, object]:
+    """Map each benchmark label of a campaign report to its exploration result.
+
+    These renderers plot exactly one exploration per benchmark, so the bound
+    campaign must run a single agent and a single seed (as the paper's specs
+    do); anything wider raises instead of silently rendering the first run
+    per label as if it covered the whole campaign.
+    """
+    results: Dict[str, object] = {}
+    for entry in report.entries:
+        if not entry.ok or entry.result is None:
+            continue
+        if entry.benchmark_label in results:
+            raise ReportingError(
+                f"the bound campaign produced multiple explorations for "
+                f"benchmark label {entry.benchmark_label!r} (several agents "
+                f"or seeds); these renderers need exactly one exploration "
+                f"per benchmark"
+            )
+        results[entry.benchmark_label] = entry.result
+    return results
+
+
+def _select_results(spec: ArtifactSpec, report) -> Dict[str, object]:
+    """The results for the labels named by ``spec.params['benchmarks']``."""
+    labels = _sequence_of_labels(spec.params.get("benchmarks"),
+                                 f"artifact {spec.name!r} params 'benchmarks'")
+    available = _results_by_label(report)
+    missing = sorted(set(labels) - set(available))
+    if missing:
+        raise ReportingError(
+            f"artifact {spec.name!r} selects benchmark label(s) {missing} "
+            f"absent from its experiment report (has: {sorted(available)})"
+        )
+    return {label: available[label] for label in labels}
+
+
+def _summary_dict(summary) -> Dict[str, float]:
+    return {
+        "minimum": float(summary.minimum),
+        "solution": float(summary.solution),
+        "maximum": float(summary.maximum),
+    }
+
+
+# ----------------------------------------------------- Tables I/II (operators)
+
+
+@register_renderer("operator-table")
+def render_operator_table_artifact(spec: ArtifactSpec,
+                                   reports: Mapping[str, object]) -> Artifact:
+    """Tables I/II: published vs re-measured operator characterisation.
+
+    Params: ``operator_kind`` (``"adder"`` / ``"multiplier"``), ``samples``
+    (operand pairs for sampled characterisation), ``measure`` (include the
+    re-measured column, default true).  Binds no experiments — the
+    characterisation is computed directly from the default catalog.
+    """
+    kind = spec.params.get("operator_kind", "adder")
+    samples = spec.params.get("samples", 20000)
+    measure = bool(spec.params.get("measure", True))
+    catalog = default_catalog()
+
+    if kind not in ("adder", "multiplier"):
+        raise ConfigurationError(
+            f"artifact {spec.name!r} params 'operator_kind' must be 'adder' "
+            f"or 'multiplier', got {kind!r}"
+        )
+    if measure:
+        characterisation = characterize_catalog(catalog, kind=kind, samples=samples)
+        measured = [report for _, report in characterisation]
+    else:
+        entries = catalog.adders if kind == "adder" else catalog.multipliers
+        characterisation = [(entry, None) for entry in entries]
+        measured = None
+
+    table = render_operator_table(catalog, kind=kind, measure=measure,
+                                  samples=samples, reports=measured)
+
+    operators: List[Dict[str, object]] = []
+    for entry, report in characterisation:
+        record: Dict[str, object] = {
+            "name": entry.name,
+            "width": entry.width,
+            "published": {
+                "mred_percent": float(entry.published.mred_percent),
+                "power_mw": float(entry.published.power_mw),
+                "delay_ns": float(entry.published.delay_ns),
+            },
+        }
+        if report is not None:
+            record["measured"] = {
+                "mred_percent": float(report.mred_percent),
+                "mae": float(report.mae),
+                "wce": float(report.wce),
+                "error_rate": float(report.error_rate),
+                "samples": int(report.samples),
+                "exhaustive": bool(report.exhaustive),
+            }
+        operators.append(record)
+
+    data = _base_data(spec)
+    data.update({"operator_kind": kind, "samples": int(samples),
+                 "measure": measure, "operators": operators})
+    intro = (f"Published characterisation of the selected {kind}s"
+             + (" with the behavioural models' re-measured MRED alongside."
+                if measure else "."))
+    return Artifact(name=spec.name, title=spec.title, kind=spec.kind,
+                    markdown=_document(spec, intro, _code_block(table)),
+                    data=data)
+
+
+# ----------------------------------------------------------------- Table III
+
+
+@register_renderer("table3")
+def render_table3_artifact(spec: ArtifactSpec,
+                           reports: Mapping[str, object]) -> Artifact:
+    """Table III: per-benchmark exploration summaries of one campaign.
+
+    Binds one experiment under the key ``explorations``; every successful
+    entry contributes one row (min/solution/max of the three objectives plus
+    the solution's selected adder and multiplier).
+    """
+    report = reports["explorations"]
+    results = _results_by_label(report)
+    if not results:
+        raise ReportingError(
+            f"artifact {spec.name!r}: the bound campaign produced no results"
+        )
+    catalog = default_catalog()
+    table = render_table3(results, catalog)
+
+    rows = []
+    for label, result in results.items():
+        operators = result.selected_operators(catalog)
+        rows.append({
+            "benchmark_label": label,
+            "steps": int(result.num_steps),
+            "power_mw": _summary_dict(result.power_summary()),
+            "time_ns": _summary_dict(result.time_summary()),
+            "accuracy": _summary_dict(result.accuracy_summary()),
+            "feasible_fraction": float(result.feasible_fraction()),
+            "adder": operators["adder"],
+            "multiplier": operators["multiplier"],
+        })
+
+    data = _base_data(spec)
+    data.update({"max_steps": report.spec.max_steps, "rows": rows})
+    intro = ("Minimum / solution / maximum of each objective over the "
+             "exploration, and the operators of the solution configuration.")
+    return Artifact(name=spec.name, title=spec.title, kind=spec.kind,
+                    markdown=_document(spec, intro, _code_block(table)),
+                    data=data)
+
+
+# -------------------------------------------------------------- Figures 2/3
+
+
+@register_renderer("trace-trends")
+def render_trace_trends_artifact(spec: ArtifactSpec,
+                                 reports: Mapping[str, object]) -> Artifact:
+    """Figures 2/3: per-step objective series with linear trend lines.
+
+    Binds one experiment under ``explorations``; ``params['benchmarks']``
+    names the benchmark labels to plot.  The data payload carries the full
+    per-step series (enough to redraw the figure) and the fitted trends.
+    """
+    results = _select_results(spec, reports["explorations"])
+
+    benchmarks: Dict[str, object] = {}
+    rows = []
+    for label, result in results.items():
+        trace = exploration_trace(result)
+        trends = trace_trends(result)
+        benchmarks[label] = {
+            "trends": {name: {"slope": float(line.slope),
+                              "intercept": float(line.intercept)}
+                       for name, line in trends.items()},
+            "series": {name: [float(v) for v in series]
+                       for name, series in trace.items()},
+        }
+        for objective, line in trends.items():
+            rows.append([label, objective, f"{line.slope:+.6f}",
+                         f"{line.intercept:.3f}",
+                         "increasing" if line.increasing else "decreasing"])
+
+    table = format_table(
+        ["benchmark", "objective", "slope", "intercept", "direction"], rows)
+    data = _base_data(spec)
+    data.update({"benchmarks": benchmarks})
+    intro = ("Per-step Δpower / Δtime / Δacc with least-squares trend lines; "
+             "the `series` arrays in the JSON payload redraw the figure.")
+    return Artifact(name=spec.name, title=spec.title, kind=spec.kind,
+                    markdown=_document(spec, intro, _code_block(table)),
+                    data=data)
+
+
+# ----------------------------------------------------------------- Figure 4
+
+
+@register_renderer("reward-curves")
+def render_reward_curves_artifact(spec: ArtifactSpec,
+                                  reports: Mapping[str, object]) -> Artifact:
+    """Figure 4: average reward per window of exploration steps.
+
+    Binds one experiment under ``explorations``; ``params['benchmarks']``
+    names the labels to plot and ``params['window']`` sets the averaging
+    window (the paper uses 100 steps).
+    """
+    window = int(spec.params.get("window", 100))
+    results = _select_results(spec, reports["explorations"])
+
+    benchmarks: Dict[str, object] = {}
+    rows = []
+    for label, result in results.items():
+        curve = reward_curve(result, window=window)
+        averages = [float(v) for v in curve.averages]
+        improvement = (averages[-1] - averages[0]) if len(averages) > 1 else 0.0
+        benchmarks[label] = {
+            "window": window,
+            "window_centers": [float(v) for v in curve.window_centers()],
+            "averages": averages,
+            "improvement": improvement,
+        }
+        rows.append([label, len(averages), f"{averages[0]:+.3f}",
+                     f"{averages[-1]:+.3f}", f"{improvement:+.3f}"])
+
+    table = format_table(
+        ["benchmark", "windows", "first avg", "last avg", "improvement"], rows)
+    data = _base_data(spec)
+    data.update({"window": window, "benchmarks": benchmarks})
+    intro = (f"Average reward per {window} steps; a positive improvement "
+             "means the agent's behaviour got better over the exploration.")
+    return Artifact(name=spec.name, title=spec.title, kind=spec.kind,
+                    markdown=_document(spec, intro, _code_block(table)),
+                    data=data)

@@ -207,9 +207,28 @@ def expand_jobs(benchmarks: Mapping[str, "Benchmark"],
                 random_start: bool = False) -> List[ExplorationJob]:
     """Deterministically expand a campaign definition into its job list.
 
-    The order is benchmark (mapping order) x agent x seed, so the same
-    definition always yields the same list — executors may run jobs in any
-    order, but results are reported in expansion order.
+    Parameters
+    ----------
+    benchmarks:
+        Benchmarks keyed by label (the label becomes each job's identity).
+    agents:
+        One :class:`AgentSpec` or a sequence of them.
+    seeds:
+        Exploration/workload seeds; one job per benchmark x agent x seed.
+    max_steps:
+        Step budget per exploration.
+    env_kwargs:
+        Extra :class:`~repro.dse.environment.AxcDseEnv` keyword arguments
+        (thresholds, ``compiled``, ...), shared by every job.
+    random_start:
+        Start each exploration from a random design point.
+
+    Returns
+    -------
+    The :class:`ExplorationJob` list in benchmark (mapping order) x agent x
+    seed order — the same definition always yields the same list, and
+    executors may run jobs in any order but report results in expansion
+    order.
     """
     if not benchmarks:
         raise ExplorationError("a campaign requires at least one benchmark")

@@ -8,6 +8,7 @@ import pytest
 from repro.agents import RandomAgent
 from repro.analysis import (
     RewardCurve,
+    characterize_catalog,
     exploration_trace,
     fit_trend,
     format_table,
@@ -114,3 +115,143 @@ class TestReporting:
         table = render_comparison([random_result])
         assert "random" in table
         assert "feasible %" in table
+
+    def test_characterize_catalog_matches_rendered_table(self, catalog):
+        characterisation = characterize_catalog(catalog, kind="adder", samples=500)
+        assert [entry.name for entry, _ in characterisation] == \
+            [entry.name for entry in catalog.adders]
+        reports = [report for _, report in characterisation]
+        with_reports = render_operator_table(catalog, kind="adder", measure=True,
+                                             samples=500, reports=reports)
+        fresh = render_operator_table(catalog, kind="adder", measure=True,
+                                      samples=500)
+        assert with_reports == fresh
+
+    def test_characterize_catalog_rejects_unknown_kind(self, catalog):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="adder"):
+            characterize_catalog(catalog, kind="divider")
+
+    def test_report_count_mismatch_rejected(self, catalog):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="report"):
+            render_operator_table(catalog, kind="adder", measure=True, reports=[])
+
+
+def _synthetic_result(catalog) -> "ExplorationResult":
+    """A tiny hand-built exploration whose rendered tables are known exactly."""
+    from repro.dse.design_space import DesignPoint
+    from repro.dse.results import ExplorationResult, StepRecord
+    from repro.dse.thresholds import ExplorationThresholds
+    from repro.metrics.deltas import ObjectiveDeltas
+    from repro.operators.energy import RunCost
+
+    point = DesignPoint(adder_index=1, multiplier_index=2,
+                        variables=(True, False))
+    steps = [
+        # (accuracy, power, time, reward, violated)
+        (0.0, 0.0, 0.0, 0.0, False),       # baseline
+        (2.5, 120.0, 30.0, 1.0, False),    # feasible
+        (9.0, 150.0, 45.0, -1.0, True),    # infeasible (Δacc > threshold)
+        (1.5, 100.0, 25.0, 1.0, False),    # feasible solution
+    ]
+    cumulative = 0.0
+    records = []
+    for index, (accuracy, power, time_ns, reward, violated) in enumerate(steps):
+        cumulative += reward
+        records.append(StepRecord(
+            step=index,
+            action=None if index == 0 else 0,
+            point=point,
+            deltas=ObjectiveDeltas(accuracy=accuracy, power_mw=power,
+                                   time_ns=time_ns),
+            reward=reward,
+            cumulative_reward=cumulative,
+            constraint_violated=violated,
+            is_baseline=index == 0,
+        ))
+    return ExplorationResult(
+        benchmark_name="synthetic",
+        records=records,
+        thresholds=ExplorationThresholds(accuracy=5.0, power_mw=200.0,
+                                         time_ns=100.0),
+        precise_cost=RunCost(power_mw=300.0, time_ns=120.0, operation_count=10),
+        agent_name="q-learning",
+    )
+
+
+class TestRenderingGolden:
+    """Exact expected output for the table renderers (golden tests).
+
+    The inputs are hand-built, so every cell is known in advance; any change
+    to number formatting, column order or summary semantics shows up as a
+    diff against these strings.
+    """
+
+    def test_render_table3_golden(self, catalog):
+        result = _synthetic_result(catalog)
+        # adder_index=1 / multiplier_index=2 resolve through the MRED-sorted
+        # catalog to these names; the trailing spaces are the fixed-width
+        # padding of the last column.
+        table = render_table3({"synthetic": result}, catalog)
+        expected = (
+            "benchmark | steps | Δpower min | Δpower sol | Δpower max | "
+            "Δtime min | Δtime sol | Δtime max | Δacc min | Δacc sol | "
+            "Δacc max | adder    | multiplier   \n"
+            "----------+-------+------------+------------+------------+"
+            "-----------+-----------+-----------+----------+----------+"
+            "----------+----------+--------------\n"
+            "synthetic | 4     | 0.000      | 100.000    | 150.000    | "
+            "0.000     | 25.000    | 45.000    | 0.000    | 1.500    | "
+            "9.000    | add8_1HG | mul32_precise"
+        )
+        assert table == expected
+
+    def test_render_comparison_golden(self, catalog):
+        result = _synthetic_result(catalog)
+        table = render_comparison([result])
+        # Two of the three scored steps are feasible (66.7 %); the best
+        # feasible step is the one with the largest Δpower + Δtime (step 1).
+        expected = (
+            "explorer   | steps | feasible % | best Δpower | best Δtime | best Δacc\n"
+            "-----------+-------+------------+-------------+------------+----------\n"
+            "q-learning | 4     | 66.7       | 120.000     | 30.000     | 2.500    "
+        )
+        assert table == expected
+
+    def test_render_comparison_without_feasible_steps_golden(self, catalog):
+        result = _synthetic_result(catalog)
+        infeasible = result.__class__(
+            benchmark_name=result.benchmark_name,
+            records=[record for record in result.records
+                     if record.is_baseline or record.deltas.accuracy > 5.0],
+            thresholds=result.thresholds,
+            precise_cost=result.precise_cost,
+            agent_name="random",
+        )
+        table = render_comparison([infeasible])
+        expected = (
+            "explorer | steps | feasible % | best Δpower | best Δtime | best Δacc\n"
+            "---------+-------+------------+-------------+------------+----------\n"
+            "random   | 2     | 0.0        | -           | -          | -        "
+        )
+        assert table == expected
+
+    def test_render_operator_table_published_golden(self, catalog):
+        table = render_operator_table(catalog, kind="adder", measure=False)
+        lines = table.splitlines()
+        assert lines[0].split(" | ") == [
+            "operator ", "width", "MRED % (paper)", "power (mW)", "time (ns)"]
+        first = catalog.adders[0]
+        cells = [cell.strip() for cell in lines[2].split(" | ")]
+        assert cells == [
+            first.name,
+            str(first.width),
+            f"{first.published.mred_percent:.3f}",
+            f"{first.published.power_mw:.4f}",
+            f"{first.published.delay_ns:.3f}",
+        ]
+        # One row per catalog adder, in catalog (MRED-sorted) order.
+        assert len(lines) == 2 + len(catalog.adders)

@@ -221,3 +221,94 @@ class TestDeclarativeCli:
         assert "q-learning" in output
         assert "simulated-annealing" in output
         assert "[baseline]" in output
+
+
+class TestOutputPaths:
+    """--out destinations: parents are created, unwritable paths exit 2."""
+
+    def test_run_out_creates_missing_parents(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "kind": "explore",
+            "benchmarks": ["dotproduct:length=12"],
+            "agents": ["q-learning"],
+            "seeds": [0],
+            "max_steps": 10,
+        }))
+        out = tmp_path / "deeply" / "nested" / "report.json"
+        assert main(["run", str(spec_path), "--out", str(out)]) == 0
+        assert out.exists()
+        assert json.loads(out.read_text())["ok"] is True
+
+    def test_sweep_out_creates_missing_parents(self, capsys, tmp_path):
+        out = tmp_path / "fronts" / "dir" / "fronts.json"
+        assert main(["sweep", "--benchmarks", "dotproduct:length=8",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_unwritable_out_exits_2_with_one_line_error(self, capsys, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory is needed")
+        out = blocker / "sub" / "fronts.json"
+        assert main(["sweep", "--benchmarks", "dotproduct:length=8",
+                     "--out", str(out)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot write")
+        assert "Traceback" not in err
+
+    def test_unwritable_paper_out_exits_2(self, capsys, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert main(["paper", "--smoke", "--out", str(blocker / "arts")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot create artifact directory")
+        assert "Traceback" not in err
+
+
+class TestPaperCommand:
+    """The artifact-pipeline front end: `repro-axc paper`."""
+
+    def test_smoke_builds_all_artifacts(self, capsys, tmp_path):
+        out = tmp_path / "artifacts"
+        assert main(["paper", "--smoke", "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        for name in ("table1", "table2", "table3", "fig2", "fig3", "fig4"):
+            assert f"{name}" in output
+            assert (out / f"{name}.md").exists()
+            assert (out / f"{name}.json").exists()
+        assert "built" in output
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert len(manifest["artifacts"]) == 6
+
+    def test_second_invocation_is_cached(self, capsys, tmp_path):
+        out = tmp_path / "artifacts"
+        assert main(["paper", "--smoke", "--out", str(out)]) == 0
+        manifest_before = (out / "manifest.json").read_bytes()
+        capsys.readouterr()
+        assert main(["paper", "--smoke", "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "cached" in output and "built" not in output
+        assert (out / "manifest.json").read_bytes() == manifest_before
+
+    def test_artifact_selection(self, capsys, tmp_path):
+        out = tmp_path / "artifacts"
+        assert main(["paper", "--smoke", "--artifacts", "table1",
+                     "--out", str(out)]) == 0
+        assert (out / "table1.md").exists()
+        assert not (out / "fig4.md").exists()
+
+    def test_unknown_artifact_exits_2(self, capsys, tmp_path):
+        assert main(["paper", "--smoke", "--artifacts", "table9",
+                     "--out", str(tmp_path / "a")]) == 2
+        err = capsys.readouterr().err
+        assert "unknown artifact" in err and "table1" in err
+
+    def test_list_artifacts(self, capsys):
+        assert main(["paper", "--smoke", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output and "fig4" in output
+        assert "Table I" in output
+
+    def test_scale_flags_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["paper", "--smoke", "--paper-scale"])
