@@ -15,16 +15,41 @@ The three runs must be entry-for-entry identical — the runtime changes
 wall-clock, never results — and the warm run must be at least 1.5x faster
 than the cold serial baseline with a nonzero cross-run hit-rate.  All
 timings and rates land in ``benchmark.extra_info`` for the perf trajectory.
+
+A second measurement, **batched vs serial exploration**, runs a Table-III
+style campaign (``matmul_10x10``, q-learning, 10,000 steps, 256 seeds)
+once per batch size in ``(1, 32, 256)`` — the same seed set every time, so
+wall-clock ratios are steps/sec ratios.  Batch size 1 is the per-seed
+serial engine (:class:`~repro.dse.explorer.Explorer`); larger sizes step
+that many episodes in lockstep through the vectorized engine
+(:mod:`repro.dse.batched_env`).  Every run must be entry-for-entry
+identical to the serial baseline — batching changes wall-clock, never
+results — and batch size 256 must be at least 5x faster.  Full-scale runs
+record the trajectory in ``BENCH_campaign_runtime.json`` at the repository
+root; ``--smoke`` shrinks the campaign (32 seeds, 4,000 steps), asserts a
+2x floor, and writes to a temp file so CI never clobbers the record.
 """
 
 from __future__ import annotations
 
+import gc
+import json
 import os
+import tempfile
 import time
+from pathlib import Path
 
 from benchmarks.conftest import paper_benchmark_suite
+from repro.benchmarks import MatMulBenchmark
 from repro.dse import Campaign
 from repro.runtime import AgentSpec, EvaluationStore, ProcessExecutor, SerialExecutor
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign_runtime.json"
+
+#: Batch sizes of the full-scale batched-vs-serial measurement (1 = the
+#: per-seed serial engine, the baseline the others are scored against).
+_FULL_BATCH_SIZES = (1, 32, 256)
+_SMOKE_BATCH_SIZES = (1, 32)
 
 
 def _run_campaign(executor, store, paper_scale, max_steps):
@@ -113,3 +138,136 @@ def test_campaign_runtime_speedup(benchmark, paper_scale, exploration_budget):
     assert warm_stats.hits > 0
     assert warm_stats.hit_rate > 0.0
     assert warm_speedup >= 1.5
+
+
+# ------------------------------------------------- batched vs serial engine
+
+
+def _trace_fingerprint(entries):
+    """Everything the bit-identity check needs, per campaign entry.
+
+    Keeps the (shared, deduplicated) delta objects and the solution point
+    instead of pinning a million step records between timed runs — the
+    records of one run would otherwise distort the memory behaviour of
+    the next.
+    """
+    return [
+        (entry.benchmark_label, entry.seed,
+         [record.deltas for record in entry.result.records],
+         entry.result.solution.point)
+        for entry in entries
+    ]
+
+
+def _run_at_batch_size(seeds, max_steps, batch_size):
+    """One matmul_10x10 q-learning campaign at the given batch size."""
+    campaign = Campaign(
+        benchmarks={"matmul_10x10": MatMulBenchmark(rows=10, inner=10, cols=10)},
+        agent_factory=AgentSpec("q-learning"),
+        max_steps=max_steps,
+        seeds=seeds,
+        store=EvaluationStore(),
+        batch_size=batch_size,
+    )
+    started = time.perf_counter()
+    entries = campaign.run()
+    return entries, time.perf_counter() - started
+
+
+def test_batched_exploration_speedup(benchmark, smoke):
+    if smoke:
+        num_seeds, max_steps, batch_sizes = 32, 4_000, _SMOKE_BATCH_SIZES
+        floor = 2.0
+    else:
+        num_seeds, max_steps, batch_sizes = 256, 10_000, _FULL_BATCH_SIZES
+        floor = 5.0
+    seeds = tuple(range(num_seeds))
+
+    def run_all():
+        measurements = []
+        reference = None
+        for batch_size in batch_sizes:
+            # Timed regions run with the cyclic collector off: a campaign
+            # allocates ~1M acyclic step records, and the collections those
+            # allocations trigger would rescan the whole growing heap —
+            # charging every run for its own (and any surviving) garbage.
+            # Refcounting still frees everything promptly.
+            gc.collect()
+            gc.disable()
+            try:
+                entries, elapsed = _run_at_batch_size(seeds, max_steps, batch_size)
+            finally:
+                gc.enable()
+            steps = sum(entry.result.num_steps for entry in entries)
+            fingerprint = _trace_fingerprint(entries)
+            del entries  # free the step records before the next timed run
+            if reference is None:
+                reference = fingerprint
+            else:
+                # Batching changes wall-clock, never results.
+                assert len(fingerprint) == len(reference)
+                for left, right in zip(reference, fingerprint):
+                    assert left[:2] == right[:2]  # (benchmark_label, seed)
+                    assert left[2] == right[2]  # per-step objective deltas
+                    assert left[3] == right[3]  # solution design point
+            measurements.append({
+                "batch_size": batch_size,
+                "wall_clock_s": elapsed,
+                "steps": steps,
+            })
+        return measurements
+
+    measurements = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    serial_s = measurements[0]["wall_clock_s"]
+    total_steps = measurements[0]["steps"]
+    rows = [
+        {
+            "batch_size": row["batch_size"],
+            "wall_clock_s": round(row["wall_clock_s"], 3),
+            "steps_per_s": round(row["steps"] / row["wall_clock_s"], 1),
+            "speedup": round(serial_s / row["wall_clock_s"], 2),
+        }
+        for row in measurements
+    ]
+
+    report = {
+        "benchmark": "bench_campaign_runtime",
+        "mode": "batched_vs_serial",
+        "smoke": smoke,
+        "campaign": {
+            "benchmark": "matmul_10x10",
+            "agent": "q-learning",
+            "seeds": num_seeds,
+            "max_steps": max_steps,
+        },
+        "total_steps": total_steps,
+        "batch_sizes": list(batch_sizes),
+        "rows": rows,
+        "bit_identical": True,
+    }
+    # Only full-scale runs refresh the checked-in perf-trajectory file; a
+    # CI/local smoke run lands in a temp file instead.
+    json_path = _JSON_PATH if not smoke else \
+        Path(tempfile.gettempdir()) / "BENCH_campaign_runtime.smoke.json"
+    json_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    benchmark.extra_info.update({
+        "smoke": smoke,
+        "seeds": num_seeds,
+        "max_steps": max_steps,
+        "total_steps": total_steps,
+        "speedups": {row["batch_size"]: row["speedup"] for row in rows},
+        "json_path": str(json_path),
+    })
+
+    print(f"\nBatched exploration (matmul_10x10 q-learning, {num_seeds} seeds "
+          f"x {max_steps} steps = {total_steps} total steps)")
+    for row in rows:
+        print(f"  batch {row['batch_size']:>4}  {row['wall_clock_s']:8.2f} s   "
+              f"{row['steps_per_s']:>10,.0f} steps/s   ({row['speedup']:.2f}x)")
+
+    largest = rows[-1]
+    assert largest["speedup"] >= floor, (
+        f"batch size {largest['batch_size']} speedup {largest['speedup']:.2f}x "
+        f"< {floor}x over the serial engine"
+    )

@@ -62,12 +62,44 @@ class QLearningAgent(Agent):
             lambda: np.zeros(self.num_actions, dtype=np.float64)
         )
         self._step = 0
+        self._epsilon_values: Optional[list] = None
+        # The explorer encodes each observation up to three times per step
+        # (select, update-state, update-next-state on the same dict objects);
+        # a two-slot identity cache serves the repeats.
+        self._encode_cache: list = []
 
     @staticmethod
     def _coerce_epsilon(epsilon: Any) -> EpsilonSchedule:
         if isinstance(epsilon, EpsilonSchedule):
             return epsilon
         return ConstantEpsilon(float(epsilon))
+
+    def precompute_epsilon(self, max_steps: int) -> None:
+        """Tabulate the epsilon schedule for steps ``[0, max_steps]``.
+
+        The schedule is a pure function of the step counter, so with a
+        known episode horizon the per-step schedule call collapses to a
+        list lookup — bit-identical values, no object dispatch.
+        """
+        self._epsilon_values = [
+            self.epsilon_schedule(step) for step in range(int(max_steps) + 1)
+        ]
+
+    def _epsilon_at(self, step: int) -> float:
+        values = self._epsilon_values
+        if values is not None and step < len(values):
+            return values[step]
+        return self.epsilon_schedule(step)
+
+    def _encode(self, observation: Mapping[str, Any]) -> Hashable:
+        for entry in self._encode_cache:
+            if entry[0] is observation:
+                return entry[1]
+        key = self.state_encoder(observation)
+        cache = self._encode_cache
+        cache.insert(0, (observation, key))
+        del cache[2:]
+        return key
 
     # ------------------------------------------------------------ inspection
 
@@ -87,13 +119,13 @@ class QLearningAgent(Agent):
 
     def current_epsilon(self) -> float:
         """The exploration rate that will be used for the next action."""
-        return self.epsilon_schedule(self._step)
+        return self._epsilon_at(self._step)
 
     # --------------------------------------------------------------- policy
 
     def select_action(self, observation: Mapping[str, Any]) -> int:
-        state = self.state_encoder(observation)
-        epsilon = self.epsilon_schedule(self._step)
+        state = self._encode(observation)
+        epsilon = self._epsilon_at(self._step)
         self._step += 1
         if self._rng.random() < epsilon:
             return int(self._rng.integers(self.num_actions))
@@ -108,8 +140,8 @@ class QLearningAgent(Agent):
 
     def update(self, observation: Mapping[str, Any], action: int, reward: float,
                next_observation: Mapping[str, Any], terminated: bool) -> None:
-        state = self.state_encoder(observation)
-        next_state = self.state_encoder(next_observation)
+        state = self._encode(observation)
+        next_state = self._encode(next_observation)
         future = 0.0 if terminated else float(self._q_table[next_state].max())
         target = reward + self.discount * future
         current = self._q_table[state][action]

@@ -46,11 +46,41 @@ class SarsaAgent(Agent):
             lambda: np.zeros(self.num_actions, dtype=np.float64)
         )
         self._step = 0
+        self._epsilon_values: Optional[list] = None
+        # Identity cache over the last two encoded observations (the
+        # explorer re-encodes the same dict objects in update()).
+        self._encode_cache: list = []
 
     @property
     def q_table(self) -> Dict[Hashable, np.ndarray]:
         """The learned Q-values, keyed by encoded state."""
         return dict(self._q_table)
+
+    def precompute_epsilon(self, max_steps: int) -> None:
+        """Tabulate the epsilon schedule for steps ``[0, max_steps]``.
+
+        SARSA reads the schedule one step past the last selection (the
+        on-policy bootstrap), hence the ``max_steps + 1`` entries.
+        """
+        self._epsilon_values = [
+            self.epsilon_schedule(step) for step in range(int(max_steps) + 1)
+        ]
+
+    def _epsilon_at(self, step: int) -> float:
+        values = self._epsilon_values
+        if values is not None and step < len(values):
+            return values[step]
+        return self.epsilon_schedule(step)
+
+    def _encode(self, observation: Mapping[str, Any]) -> Hashable:
+        for entry in self._encode_cache:
+            if entry[0] is observation:
+                return entry[1]
+        key = self.state_encoder(observation)
+        cache = self._encode_cache
+        cache.insert(0, (observation, key))
+        del cache[2:]
+        return key
 
     def _policy_action(self, state: Hashable, epsilon: float) -> int:
         if self._rng.random() < epsilon:
@@ -60,20 +90,20 @@ class SarsaAgent(Agent):
         return int(self._rng.choice(best))
 
     def select_action(self, observation: Mapping[str, Any]) -> int:
-        state = self.state_encoder(observation)
-        epsilon = self.epsilon_schedule(self._step)
+        state = self._encode(observation)
+        epsilon = self._epsilon_at(self._step)
         self._step += 1
         return self._policy_action(state, epsilon)
 
     def update(self, observation: Mapping[str, Any], action: int, reward: float,
                next_observation: Mapping[str, Any], terminated: bool) -> None:
-        state = self.state_encoder(observation)
-        next_state = self.state_encoder(next_observation)
+        state = self._encode(observation)
+        next_state = self._encode(next_observation)
         if terminated:
             future = 0.0
         else:
             # On-policy: bootstrap from the action the current policy would take.
-            next_action = self._policy_action(next_state, self.epsilon_schedule(self._step))
+            next_action = self._policy_action(next_state, self._epsilon_at(self._step))
             future = float(self._q_table[next_state][next_action])
         target = reward + self.discount * future
         current = self._q_table[state][action]

@@ -1,0 +1,265 @@
+"""Vectorized tabular agents: many episodes, one dense Q-array.
+
+The serial agents (:class:`~repro.agents.qlearning.QLearningAgent`,
+:class:`~repro.agents.sarsa.SarsaAgent`, :class:`~repro.agents.random_agent.
+RandomAgent`) drive one episode each through a dict-keyed Q-table.  A
+Table-III campaign runs dozens of such episodes with identical
+hyperparameters, differing only in their seed — so the batched engine
+(:mod:`repro.dse.batched_env`) advances them in lockstep and needs agents
+that select and learn for a whole batch per call.
+
+The classes here hold one dense Q-array of shape ``(episodes, states,
+actions)`` — states are the design-space enumeration indices of
+:meth:`~repro.dse.design_space.DesignSpace.point_at`, exactly what the
+default :class:`~repro.agents.base.ConfigurationEncoder` keys densify to —
+and apply the Bellman updates as gather/scatter over that array.
+
+Bit-identity with the serial agents is a hard contract, not an
+approximation.  Each episode keeps its own ``np.random.Generator`` seeded
+exactly as the serial agent's, and every method call consumes the streams
+in the serial order: ``rng.random()`` for the epsilon test, then either
+``rng.integers(num_actions)`` (explore) or ``rng.choice(best)`` over the
+tied argmax set (exploit).  The one deliberate shortcut — skipping the
+``rng.choice`` call when the argmax is unique — is stream-neutral:
+``Generator.choice`` over a single-element array returns that element
+without advancing the bit generator (asserted in the test suite), so the
+per-episode streams stay aligned with the serial agents bit for bit.  The
+Q-update itself is evaluated in the serial expression order
+(``current + lr * ((reward + discount * future) - current)``), which makes
+the float64 results IEEE-identical, not merely close.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.agents.schedules import ConstantEpsilon, EpsilonSchedule
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "VectorizedAgent",
+    "VectorizedQLearningAgent",
+    "VectorizedSarsaAgent",
+    "VectorizedRandomAgent",
+]
+
+
+def _coerce_epsilon(epsilon: Any) -> EpsilonSchedule:
+    if isinstance(epsilon, EpsilonSchedule):
+        return epsilon
+    return ConstantEpsilon(float(epsilon))
+
+
+class VectorizedAgent:
+    """Common plumbing of the batched tabular agents.
+
+    Parameters
+    ----------
+    num_actions:
+        Size of the (discrete) action space.
+    seeds:
+        One RNG seed per episode; episode ``i`` draws from
+        ``np.random.default_rng(seeds[i])``, the exact generator the serial
+        agent for that seed would own.
+    """
+
+    name = "agent"
+
+    def __init__(self, num_actions: int, seeds: Sequence[Optional[int]]) -> None:
+        if num_actions <= 0:
+            raise ConfigurationError(f"num_actions must be positive, got {num_actions}")
+        if not seeds:
+            raise ConfigurationError("a vectorized agent requires at least one episode seed")
+        self.num_actions = int(num_actions)
+        self.num_episodes = len(seeds)
+        self._rngs: List[np.random.Generator] = [np.random.default_rng(s) for s in seeds]
+        # Pre-bound generator methods: the per-episode selection loop is the
+        # hot path, and attribute lookups on 256 generators per step add up.
+        self._random = [rng.random for rng in self._rngs]
+        self._integers = [rng.integers for rng in self._rngs]
+        self._choice = [rng.choice for rng in self._rngs]
+
+    def select_actions(self, active: np.ndarray, states: np.ndarray) -> np.ndarray:
+        """Choose one action per active episode (``states`` aligned with ``active``)."""
+        raise NotImplementedError
+
+    def update(self, active: np.ndarray, states: np.ndarray, actions: np.ndarray,
+               rewards: np.ndarray, next_states: np.ndarray,
+               terminated: np.ndarray) -> None:
+        """Learn from one batch of transitions (all arrays aligned with ``active``)."""
+        raise NotImplementedError
+
+
+class _VectorizedValueAgent(VectorizedAgent):
+    """Shared dense-Q machinery of the epsilon-greedy value agents."""
+
+    def __init__(self, num_actions: int, num_states: int, seeds: Sequence[Optional[int]],
+                 learning_rate: float = 0.1, discount: float = 0.9,
+                 epsilon: Any = 0.1, max_steps: Optional[int] = None) -> None:
+        super().__init__(num_actions, seeds)
+        if num_states <= 0:
+            raise ConfigurationError(f"num_states must be positive, got {num_states}")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ConfigurationError(f"learning_rate must be in (0, 1], got {learning_rate}")
+        if not 0.0 <= discount <= 1.0:
+            raise ConfigurationError(f"discount must be in [0, 1], got {discount}")
+        self.num_states = int(num_states)
+        self.learning_rate = float(learning_rate)
+        self.discount = float(discount)
+        self.epsilon_schedule = _coerce_epsilon(epsilon)
+        # Epsilon is a pure function of the per-episode step counter; with a
+        # known horizon the whole schedule collapses to one array lookup.
+        # SARSA reads the schedule one step past the last selection, hence
+        # the ``max_steps + 1`` entries.
+        self._epsilon_values: Optional[List[float]] = None
+        if max_steps is not None:
+            self._epsilon_values = [
+                self.epsilon_schedule(step) for step in range(int(max_steps) + 1)
+            ]
+        self._q = np.zeros((self.num_episodes, self.num_states, self.num_actions),
+                           dtype=np.float64)
+        self._steps = [0] * self.num_episodes
+
+    def _epsilon_at(self, step: int) -> float:
+        values = self._epsilon_values
+        if values is not None and step < len(values):
+            return values[step]
+        return self.epsilon_schedule(step)
+
+    @property
+    def steps_taken(self) -> List[int]:
+        """Per-episode count of actions selected so far (copy)."""
+        return list(self._steps)
+
+    def q_array(self) -> np.ndarray:
+        """The learned Q-values, shape ``(episodes, states, actions)`` (copy)."""
+        return self._q.copy()
+
+    def select_actions(self, active: np.ndarray, states: np.ndarray) -> np.ndarray:
+        episodes = active.tolist()
+        chosen = [0] * len(episodes)
+        greedy_slots: List[int] = []
+        steps = self._steps
+        epsilon_values = self._epsilon_values
+        horizon = -1 if epsilon_values is None else len(epsilon_values)
+        random = self._random
+        integers = self._integers
+        num_actions = self.num_actions
+        for slot, episode in enumerate(episodes):
+            step = steps[episode]
+            steps[episode] = step + 1
+            epsilon = (
+                epsilon_values[step] if step < horizon else self.epsilon_schedule(step)
+            )
+            if random[episode]() < epsilon:
+                chosen[slot] = integers[episode](num_actions)
+            else:
+                greedy_slots.append(slot)
+        if greedy_slots:
+            slots = np.asarray(greedy_slots, dtype=np.int64)
+            rows = self._q[active[slots], states[slots]]
+            ties = rows == rows.max(axis=1, keepdims=True)
+            tie_counts = ties.sum(axis=1)
+            first_best = ties.argmax(axis=1).tolist()
+            if (tie_counts == 1).all():
+                # Unique argmaxes: the serial agent's rng.choice over a
+                # one-element candidate set returns it without touching the
+                # stream, so skipping the calls is bit-identical.
+                for position, slot in enumerate(greedy_slots):
+                    chosen[slot] = first_best[position]
+            else:
+                counts = tie_counts.tolist()
+                tie_rows = ties.tolist()
+                integers = self._integers
+                for position, slot in enumerate(greedy_slots):
+                    if counts[position] == 1:
+                        chosen[slot] = first_best[position]
+                    else:
+                        # ``Generator.choice`` without weights draws exactly
+                        # ``integers(0, n)`` from the stream; indexing the
+                        # tied set directly is bit-identical and an order of
+                        # magnitude cheaper than the ``choice`` call.
+                        row = tie_rows[position]
+                        best = [action for action, tied in enumerate(row) if tied]
+                        pick = integers[episodes[slot]](counts[position])
+                        chosen[slot] = best[pick]
+        return np.asarray(chosen, dtype=np.int64)
+
+
+class VectorizedQLearningAgent(_VectorizedValueAgent):
+    """Batched epsilon-greedy tabular Q-learning (off-policy).
+
+    The update is fully vectorized: one gather for the next-state rows, one
+    max-reduce for the bootstrap values, one scatter for the Bellman step —
+    every active episode learns in the same few NumPy operations.
+    """
+
+    name = "q-learning"
+
+    def update(self, active: np.ndarray, states: np.ndarray, actions: np.ndarray,
+               rewards: np.ndarray, next_states: np.ndarray,
+               terminated: np.ndarray) -> None:
+        future = np.where(terminated, 0.0, self._q[active, next_states].max(axis=1))
+        target = rewards + self.discount * future
+        current = self._q[active, states, actions]
+        self._q[active, states, actions] = (
+            current + self.learning_rate * (target - current)
+        )
+
+
+class VectorizedSarsaAgent(_VectorizedValueAgent):
+    """Batched epsilon-greedy tabular SARSA (on-policy).
+
+    The bootstrap action is drawn from each episode's own policy (and RNG
+    stream), so the update walks the active episodes — the Bellman step
+    itself still lands in the shared dense Q-array.
+    """
+
+    name = "sarsa"
+
+    def update(self, active: np.ndarray, states: np.ndarray, actions: np.ndarray,
+               rewards: np.ndarray, next_states: np.ndarray,
+               terminated: np.ndarray) -> None:
+        q = self._q
+        for slot in range(active.size):
+            episode = active[slot]
+            if terminated[slot]:
+                future = 0.0
+            else:
+                # On-policy: bootstrap from the action the current policy
+                # would take, consuming the episode's RNG stream exactly as
+                # SarsaAgent._policy_action does.
+                rng = self._rngs[episode]
+                epsilon = self._epsilon_at(int(self._steps[episode]))
+                next_state = next_states[slot]
+                if rng.random() < epsilon:
+                    next_action = int(rng.integers(self.num_actions))
+                else:
+                    values = q[episode, next_state]
+                    best = np.flatnonzero(values == values.max())
+                    next_action = int(best[0]) if best.size == 1 else int(rng.choice(best))
+                future = float(q[episode, next_state, next_action])
+            target = rewards[slot] + self.discount * future
+            current = q[episode, states[slot], actions[slot]]
+            q[episode, states[slot], actions[slot]] = (
+                current + self.learning_rate * (target - current)
+            )
+
+
+class VectorizedRandomAgent(VectorizedAgent):
+    """Batched uniform-random action baseline (never learns)."""
+
+    name = "random"
+
+    def select_actions(self, active: np.ndarray, states: np.ndarray) -> np.ndarray:
+        actions = np.empty(active.size, dtype=np.int64)
+        for slot in range(active.size):
+            actions[slot] = self._rngs[active[slot]].integers(self.num_actions)
+        return actions
+
+    def update(self, active: np.ndarray, states: np.ndarray, actions: np.ndarray,
+               rewards: np.ndarray, next_states: np.ndarray,
+               terminated: np.ndarray) -> None:
+        """Random agents do not learn; the transitions are ignored."""

@@ -166,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="exploration steps per run")
     campaign.add_argument("--jobs", type=int, default=1,
                           help="worker processes (1 = serial execution)")
+    campaign.add_argument("--batch-size", type=int, default=0,
+                          help="seeds stepped in lockstep per batched exploration "
+                               "job (0 = auto: spread seeds over the workers; "
+                               "1 = per-seed serial jobs; results are identical)")
     campaign.add_argument("--store", default=None, metavar="PATH",
                           help="sqlite file persisting the evaluation store across runs")
 
@@ -363,10 +367,12 @@ def _expansion_summary(spec: ExperimentSpec, store) -> str:
                 f"chunks of {spec.runtime.chunk_size} design points, running "
                 f"{_execution_mode(spec.runtime)}{_warm_suffix(store)}")
     runs = len(spec.benchmarks) * len(spec.agents) * len(spec.seeds)
+    batch = spec.runtime.effective_batch_size(len(spec.seeds))
+    batch_suffix = f" batched {batch} seeds/job" if batch > 1 else ""
     return (f"{len(spec.benchmarks)} benchmark(s) x {len(spec.agents)} agent(s) x "
             f"{len(spec.seeds)} seed(s) = {runs} exploration(s), "
             f"{spec.max_steps} steps each, running "
-            f"{_execution_mode(spec.runtime)}{_warm_suffix(store)}")
+            f"{_execution_mode(spec.runtime)}{batch_suffix}{_warm_suffix(store)}")
 
 
 # -------------------------------------------------------------------- commands
@@ -446,7 +452,8 @@ def _command_campaign(args: argparse.Namespace) -> int:
         agents=tuple(ExperimentAgentSpec(name) for name in dict.fromkeys(args.agents)),
         seeds=tuple(dict.fromkeys(args.seeds)),
         max_steps=args.steps,
-        runtime=RuntimeSpec.from_jobs(args.jobs, store_path=args.store),
+        runtime=RuntimeSpec.from_jobs(args.jobs, store_path=args.store,
+                                      batch_size=args.batch_size),
     )
     store = spec.runtime.build_store()
     print(f"Campaign: {_expansion_summary(spec, store)}")

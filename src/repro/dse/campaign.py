@@ -36,7 +36,7 @@ from repro.benchmarks.base import Benchmark
 from repro.dse.environment import AxcDseEnv
 from repro.dse.results import ExplorationResult
 from repro.errors import ExplorationError
-from repro.runtime.executor import Executor, JobOutcome, SerialExecutor
+from repro.runtime.executor import Executor, JobOutcome, SerialExecutor, flatten_outcomes
 from repro.runtime.jobs import AgentSpec, ExplorationJob, expand_jobs
 from repro.runtime.store import EvaluationStore
 
@@ -109,6 +109,14 @@ class Campaign:
         Whether cached evaluation records retain raw benchmark outputs.
         Off by default — a 2500-point design space retains thousands of
         arrays otherwise, and campaign summaries only need the deltas.
+    batch_size:
+        Batched exploration: seeds of each (benchmark, agent) pair are
+        grouped into batches of this size and stepped in lockstep through
+        the vectorized engine (:mod:`repro.dse.batched_env`), bit-identical
+        to the per-seed jobs.  ``0`` (the default) auto-sizes batches to
+        spread seeds evenly over the executor's workers; ``1`` disables
+        batching.  Agents without a vectorized builder (baselines, custom
+        factories) always run per seed.
     """
 
     def __init__(self, benchmarks: Mapping[str, Benchmark],
@@ -117,7 +125,8 @@ class Campaign:
                  env_kwargs: Optional[Dict[str, object]] = None,
                  executor: Optional[Executor] = None,
                  store: Optional[EvaluationStore] = None,
-                 store_outputs: bool = False) -> None:
+                 store_outputs: bool = False,
+                 batch_size: int = 0) -> None:
         if not benchmarks:
             raise ExplorationError("a campaign requires at least one benchmark")
         if not seeds:
@@ -135,6 +144,11 @@ class Campaign:
         self._executor = executor if executor is not None else SerialExecutor()
         self._store = store if store is not None else EvaluationStore()
         self._store_outputs = bool(store_outputs)
+        if batch_size < 0:
+            raise ExplorationError(
+                f"batch_size must be non-negative (0 = auto), got {batch_size}"
+            )
+        self._batch_size = int(batch_size)
 
     @classmethod
     def from_spec(cls, spec) -> "Campaign":
@@ -166,6 +180,7 @@ class Campaign:
             executor=spec.runtime.build_executor(),
             store=spec.runtime.build_store(),
             store_outputs=spec.runtime.store_outputs,
+            batch_size=spec.runtime.batch_size,
         )
 
     @property
@@ -187,12 +202,22 @@ class Campaign:
 
     def jobs(self) -> List[ExplorationJob]:
         """The campaign definition expanded into its deterministic job list."""
+        if self._batch_size:
+            batch_size = self._batch_size
+        elif len(self._seeds) > 1:
+            # Auto: one batched job per worker, so batching multiplies with
+            # (instead of replacing) process parallelism.
+            workers = max(int(getattr(self._executor, "n_jobs", 1)), 1)
+            batch_size = -(-len(self._seeds) // workers)
+        else:
+            batch_size = 1
         return expand_jobs(
             self._benchmarks,
             self._agent_spec,
             seeds=self._seeds,
             max_steps=self._max_steps,
             env_kwargs=self._env_kwargs,
+            batch_size=batch_size,
         )
 
     def run_outcomes(self) -> List[JobOutcome]:
@@ -224,7 +249,7 @@ class Campaign:
         return [
             CampaignEntry(benchmark_label=outcome.job.benchmark_label,
                           seed=outcome.job.seed, result=outcome.result)
-            for outcome in outcomes
+            for outcome in flatten_outcomes(outcomes)
         ]
 
     @staticmethod

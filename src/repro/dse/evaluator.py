@@ -29,7 +29,7 @@ from repro.dse.design_space import DesignPoint, DesignSpace
 from repro.errors import OperatorError
 from repro.instrumentation.context import ApproxContext
 from repro.metrics.deltas import ObjectiveDeltas, compute_deltas
-from repro.operators.base import as_int_array
+from repro.operators.base import OperatorKind, as_int_array
 from repro.operators.catalog import OperatorCatalog, default_catalog
 from repro.operators.energy import CostModel, RunCost
 from repro.runtime.store import (
@@ -91,6 +91,19 @@ class Evaluator:
         are bit-identical either way — same records, same store keys — so
         this only changes wall-clock; defaults to on.  Disable to measure
         or debug the analytic path.
+    share_equivalent:
+        Share measurements between behaviourally equivalent design points.
+        A kernel's outputs and operation profile are a pure function of
+        which unit executes each of its ``(kind, variables)`` routing keys
+        (see :meth:`~repro.instrumentation.context.ApproxContext.
+        route_keys`): two points that route every key to the same units
+        run the identical computation, so the first one's measurement is
+        replayed for the rest instead of re-executing the kernel.  On a
+        Table-III space most points collapse onto a few dozen behaviour
+        classes (the variable mask only matters through which operation
+        kinds it approximates), making this the difference between
+        evaluating the space and evaluating its distinct behaviours.
+        Records are bit-identical either way; defaults to on.
     """
 
     def __init__(self, benchmark: Benchmark, catalog: Optional[OperatorCatalog] = None,
@@ -98,7 +111,8 @@ class Evaluator:
                  restrict_to_benchmark_widths: bool = True,
                  store: Optional[EvaluationStore] = None,
                  store_outputs: bool = True,
-                 compiled: bool = True) -> None:
+                 compiled: bool = True,
+                 share_equivalent: bool = True) -> None:
         self._benchmark = benchmark
         self._full_catalog = catalog if catalog is not None else default_catalog()
         if restrict_to_benchmark_widths:
@@ -145,6 +159,28 @@ class Evaluator:
                                         trusted=self._trusted)
         self._precise_outputs = benchmark.execute(precise_context, self._inputs).outputs
         self._precise_cost = self._cost_model.run_cost(precise_context.profile.as_dict())
+
+        # Design-point equivalence sharing: the baseline run reveals every
+        # (kind, variables) routing key the kernel asks for, and a point's
+        # behaviour signature is the tuple of unit names those keys resolve
+        # to.  Should an approximate run ever surface a key the baseline
+        # did not (data-dependent variable naming), the key set is extended
+        # and the cache dropped — signatures over the old set are stale.
+        self._share_equivalent = bool(share_equivalent)
+        self._route_keys: tuple = precise_context.route_keys()
+        self._route_key_set = set(self._route_keys)
+        self._behavior_cache: dict = {}
+        # _behavior_signature runs on every first-touch evaluation, so the
+        # name/variable lookups are compiled down to table indexing and one
+        # int bitmask per route key (rebuilt when the key set extends).
+        self._adder_names = ("",) + tuple(e.name for e in self._catalog.adders)
+        self._multiplier_names = (
+            ("",) + tuple(e.name for e in self._catalog.multipliers)
+        )
+        self._variable_bits = {
+            name: 1 << bit for bit, name in enumerate(benchmark.variables)
+        }
+        self._route_masks = self._compile_route_masks()
 
         self._store = store if store is not None else EvaluationStore()
         self._store_outputs = bool(store_outputs)
@@ -260,6 +296,60 @@ class Evaluator:
         """The store key addressing one design point of this evaluator."""
         return EvaluationKey(*self._store_context, point=point.key())
 
+    def _compile_route_masks(self) -> tuple:
+        """``(is_adder, variable_bitmask)`` per discovered routing key."""
+        bits = self._variable_bits
+        return tuple(
+            (kind is OperatorKind.ADDER,
+             sum(bits.get(name, 0) for name in variables))
+            for kind, variables in self._route_keys
+        )
+
+    def _behavior_signature(self, point: DesignPoint) -> Optional[tuple]:
+        """Unit names each routing key resolves to under ``point`` (or None).
+
+        Mirrors exactly how :meth:`context_for` + ``ApproxContext._select``
+        would route: a key runs on the point's approximate unit iff its
+        variables intersect the point's selected set (bitmask-encoded).
+        """
+        route_masks = self._route_masks
+        if not route_masks:
+            return None
+        mask = 0
+        bit = 1
+        for flag in point.variables:
+            if flag:
+                mask |= bit
+            bit <<= 1
+        adder_name = self._adder_names[point.adder_index]
+        multiplier_name = self._multiplier_names[point.multiplier_index]
+        exact_adder_name = self._exact_adder.name
+        exact_multiplier_name = self._exact_multiplier.name
+        return tuple(
+            (adder_name if mask & key_mask else exact_adder_name) if is_adder
+            else (multiplier_name if mask & key_mask else exact_multiplier_name)
+            for is_adder, key_mask in route_masks
+        )
+
+    def _note_route_keys(self, context: ApproxContext, point: DesignPoint,
+                         signature: Optional[tuple]) -> Optional[tuple]:
+        """Fold a run's observed routing keys into the discovered set.
+
+        New keys invalidate every cached signature (they were computed over
+        an incomplete key set), so the behaviour cache is dropped and this
+        run's signature recomputed over the extended set.
+        """
+        observed = context.route_keys()
+        known = self._route_key_set
+        new = [key for key in observed if key not in known]
+        if new:
+            self._route_keys = self._route_keys + tuple(new)
+            known.update(new)
+            self._route_masks = self._compile_route_masks()
+            self._behavior_cache.clear()
+            signature = self._behavior_signature(point)
+        return signature
+
     def evaluate(self, point: DesignPoint) -> EvaluationRecord:
         """Measure (Δacc, Δpower, Δtime) for one design point (cached)."""
         self._space.validate(point)
@@ -273,6 +363,22 @@ class Evaluator:
             self._served.add(key.point)
             return record
 
+        signature = self._behavior_signature(point) if self._share_equivalent else None
+        if signature is not None:
+            shared = self._behavior_cache.get(signature)
+            if shared is not None:
+                # A behaviourally equivalent point already ran: replay its
+                # measurement (bit-identical by construction) under this
+                # point's identity.
+                deltas, approx_cost, outputs = shared
+                record = EvaluationRecord(
+                    point=point, deltas=deltas, approx_cost=approx_cost,
+                    outputs=outputs if self._store_outputs else None,
+                )
+                self._store.put(key, record)
+                self._served.add(key.point)
+                return record
+
         context = self.context_for(point, trusted=self._trusted)
         run = self._benchmark.execute(context, self._inputs)
         approx_cost = self._cost_model.run_cost(context.profile.as_dict())
@@ -284,6 +390,10 @@ class Evaluator:
                                   outputs=run.outputs if self._store_outputs else None)
         self._store.put(key, record)
         self._served.add(key.point)
+        if self._share_equivalent:
+            signature = self._note_route_keys(context, point, signature)
+            if signature is not None:
+                self._behavior_cache[signature] = (deltas, approx_cost, run.outputs)
         return record
 
     def use_store(self, store: EvaluationStore,
@@ -318,3 +428,4 @@ class Evaluator:
         """Drop this evaluator's cached evaluations (e.g. after changing the workload)."""
         self._store.clear_context(self._store_context)
         self._served.clear()
+        self._behavior_cache.clear()

@@ -85,27 +85,50 @@ class Explorer:
 
         terminated = False
         truncated = False
-        for step in range(1, self._max_steps + 1):
-            action = agent.select_action(observation)
-            next_observation, reward, terminated, truncated, info = environment.step(action)
-            agent.update(observation, action, reward, next_observation, terminated)
-            observation = next_observation
+        # The callback test is hoisted out of the hot loop: the common
+        # no-callback episode pays nothing per step, the callback episode
+        # runs an otherwise identical loop with the notification inline.
+        if callback is None:
+            for step in range(1, self._max_steps + 1):
+                action = agent.select_action(observation)
+                next_observation, reward, terminated, truncated, info = environment.step(action)
+                agent.update(observation, action, reward, next_observation, terminated)
+                observation = next_observation
 
-            records.append(
-                StepRecord(
-                    step=step,
-                    action=int(action),
-                    point=info["design_point"],
-                    deltas=info["deltas"],
-                    reward=float(reward),
-                    cumulative_reward=float(info["cumulative_reward"]),
-                    constraint_violated=bool(info["constraint_violated"]),
+                records.append(
+                    StepRecord(
+                        step=step,
+                        action=int(action),
+                        point=info["design_point"],
+                        deltas=info["deltas"],
+                        reward=float(reward),
+                        cumulative_reward=float(info["cumulative_reward"]),
+                        constraint_violated=bool(info["constraint_violated"]),
+                    )
                 )
-            )
-            if callback is not None:
+                if terminated or truncated:
+                    break
+        else:
+            for step in range(1, self._max_steps + 1):
+                action = agent.select_action(observation)
+                next_observation, reward, terminated, truncated, info = environment.step(action)
+                agent.update(observation, action, reward, next_observation, terminated)
+                observation = next_observation
+
+                records.append(
+                    StepRecord(
+                        step=step,
+                        action=int(action),
+                        point=info["design_point"],
+                        deltas=info["deltas"],
+                        reward=float(reward),
+                        cumulative_reward=float(info["cumulative_reward"]),
+                        constraint_violated=bool(info["constraint_violated"]),
+                    )
+                )
                 callback(records[-1])
-            if terminated or truncated:
-                break
+                if terminated or truncated:
+                    break
 
         return ExplorationResult(
             benchmark_name=environment.evaluator.benchmark.name,

@@ -27,7 +27,7 @@ validation) without circular-import hazards.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -60,12 +60,23 @@ class AgentFamily:
     #: (documentation for spec authors; unknown keys still surface as
     #: precise ``TypeError``-derived configuration errors at build time).
     defaults: Mapping[str, object] = field(default_factory=dict)
+    #: Optional batched builder: receives ``(batched_environment, seeds,
+    #: max_steps, options)`` and returns a vectorized agent
+    #: (:mod:`repro.agents.vectorized`) driving one episode per seed,
+    #: bit-identical to the serial builder's agents.  Only RL families can
+    #: carry one.
+    vectorized: Optional[Callable[..., object]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "defaults", dict(self.defaults))
         if self.kind not in _KINDS:
             raise ConfigurationError(
                 f"agent family kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if self.vectorized is not None and self.kind != RL:
+            raise ConfigurationError(
+                f"only RL agent families can carry a vectorized builder, "
+                f"got kind {self.kind!r}"
             )
 
 
@@ -74,7 +85,8 @@ _FAMILIES: Dict[str, AgentFamily] = {}
 
 def register_agent(name: str, kind: str, builder: Callable[..., object],
                    description: str = "",
-                   defaults: Mapping[str, object] = ()) -> None:
+                   defaults: Mapping[str, object] = (),
+                   vectorized: Optional[Callable[..., object]] = None) -> None:
     """Register an agent family under ``name`` (see module docstring).
 
     Parameters
@@ -91,6 +103,8 @@ def register_agent(name: str, kind: str, builder: Callable[..., object],
         One-liner shown by ``repro-axc list-agents``.
     defaults:
         Hyperparameter defaults merged under any overrides.
+    vectorized:
+        Optional batched builder (see :class:`AgentFamily.vectorized`).
     """
     if not name:
         raise ConfigurationError("agent name must be non-empty")
@@ -98,7 +112,8 @@ def register_agent(name: str, kind: str, builder: Callable[..., object],
         raise ConfigurationError(f"agent {name!r} is already registered")
     _FAMILIES[name] = AgentFamily(name=name, kind=kind, builder=builder,
                                   description=description,
-                                  defaults=dict(defaults) if defaults else {})
+                                  defaults=dict(defaults) if defaults else {},
+                                  vectorized=vectorized)
 
 
 def agent_family(name: str) -> AgentFamily:
@@ -148,7 +163,9 @@ def _build_q_learning(environment, seed: int, max_steps: int,
 
     resolved = _rl_options(environment, seed, options)
     resolved.setdefault("epsilon", _default_epsilon(max_steps))
-    return QLearningAgent(**resolved)
+    agent = QLearningAgent(**resolved)
+    agent.precompute_epsilon(max_steps)
+    return agent
 
 
 def _build_sarsa(environment, seed: int, max_steps: int,
@@ -157,7 +174,9 @@ def _build_sarsa(environment, seed: int, max_steps: int,
 
     resolved = _rl_options(environment, seed, options)
     resolved.setdefault("epsilon", _default_epsilon(max_steps))
-    return SarsaAgent(**resolved)
+    agent = SarsaAgent(**resolved)
+    agent.precompute_epsilon(max_steps)
+    return agent
 
 
 def _build_random(environment, seed: int, max_steps: int,
@@ -165,6 +184,63 @@ def _build_random(environment, seed: int, max_steps: int,
     from repro.agents import RandomAgent
 
     return RandomAgent(**_rl_options(environment, seed, options))
+
+
+# ----------------------------------------------------- vectorized builders
+#
+# Batched counterparts of the RL builders: one agent driving one episode
+# per seed, resolving options exactly like the serial builders so the
+# per-episode RNG streams and hyperparameters match bit for bit.  The
+# ``environment`` is a :class:`~repro.dse.batched_env.BatchedAxcDseEnv`.
+
+
+def _vectorized_options(environment, seeds, options: Mapping[str, object]):
+    if "state_encoder" in options:
+        raise ConfigurationError(
+            "custom state encoders are not supported by the batched engine; "
+            "run this agent with batch_size=1"
+        )
+    resolved = dict(options)
+    resolved.setdefault("num_actions", environment.num_actions)
+    # The serial builder seeds every job's agent with options["seed"] when
+    # given, else with the job's own seed — mirror that per episode.
+    if "seed" in resolved:
+        agent_seeds = [resolved.pop("seed")] * len(seeds)
+    else:
+        agent_seeds = list(seeds)
+    return resolved, agent_seeds
+
+
+def _vectorize_q_learning(environment, seeds, max_steps: int,
+                          options: Mapping[str, object]):
+    from repro.agents.vectorized import VectorizedQLearningAgent
+
+    resolved, agent_seeds = _vectorized_options(environment, seeds, options)
+    resolved.setdefault("epsilon", _default_epsilon(max_steps))
+    return VectorizedQLearningAgent(
+        num_states=environment.design_space.size, seeds=agent_seeds,
+        max_steps=max_steps, **resolved,
+    )
+
+
+def _vectorize_sarsa(environment, seeds, max_steps: int,
+                     options: Mapping[str, object]):
+    from repro.agents.vectorized import VectorizedSarsaAgent
+
+    resolved, agent_seeds = _vectorized_options(environment, seeds, options)
+    resolved.setdefault("epsilon", _default_epsilon(max_steps))
+    return VectorizedSarsaAgent(
+        num_states=environment.design_space.size, seeds=agent_seeds,
+        max_steps=max_steps, **resolved,
+    )
+
+
+def _vectorize_random(environment, seeds, max_steps: int,
+                      options: Mapping[str, object]):
+    from repro.agents.vectorized import VectorizedRandomAgent
+
+    resolved, agent_seeds = _vectorized_options(environment, seeds, options)
+    return VectorizedRandomAgent(seeds=agent_seeds, **resolved)
 
 
 # ------------------------------------------------------- baseline builders
@@ -215,11 +291,14 @@ def _build_exhaustive(evaluator, thresholds, seed: int, budget: int,
 
 register_agent("q-learning", RL, _build_q_learning,
                "tabular Q-learning (the paper's agent)",
-               defaults={"epsilon": "linear decay 1.0 -> 0.05 over max_steps/2"})
+               defaults={"epsilon": "linear decay 1.0 -> 0.05 over max_steps/2"},
+               vectorized=_vectorize_q_learning)
 register_agent("sarsa", RL, _build_sarsa,
                "on-policy SARSA variant",
-               defaults={"epsilon": "linear decay 1.0 -> 0.05 over max_steps/2"})
-register_agent("random", RL, _build_random, "uniform random action baseline")
+               defaults={"epsilon": "linear decay 1.0 -> 0.05 over max_steps/2"},
+               vectorized=_vectorize_sarsa)
+register_agent("random", RL, _build_random, "uniform random action baseline",
+               vectorized=_vectorize_random)
 register_agent("hill-climbing", BASELINE, _build_hill_climbing,
                "steepest-ascent hill climbing with random restarts",
                defaults={"max_evaluations": "the exploration step budget"})

@@ -68,6 +68,7 @@ def run_experiment(spec: ExperimentSpec,
         )
         entries = [ExperimentEntry.from_sweep(result) for result in sweep_results]
     else:
+        from repro.runtime.executor import flatten_outcomes
         from repro.runtime.jobs import expand_jobs
 
         jobs = expand_jobs(
@@ -77,11 +78,15 @@ def run_experiment(spec: ExperimentSpec,
             max_steps=spec.max_steps,
             env_kwargs={**spec.thresholds.env_kwargs(),
                         "compiled": spec.runtime.compiled},
+            batch_size=spec.runtime.effective_batch_size(len(spec.seeds)),
         )
         outcomes = executor.run(jobs, store=store,
                                 store_outputs=spec.runtime.store_outputs,
                                 on_outcome=on_outcome)
-        entries = [ExperimentEntry.from_outcome(outcome) for outcome in outcomes]
+        entries = [
+            ExperimentEntry.from_outcome(outcome)
+            for outcome in flatten_outcomes(outcomes)
+        ]
     wall_clock_s = time.perf_counter() - started
     store.flush()
 

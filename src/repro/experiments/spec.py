@@ -396,6 +396,13 @@ class RuntimeSpec:
     #: change, only wall-clock — hence runtime, not fingerprint, territory).
     #: Disable to debug or measure the analytic path.
     compiled: bool = True
+    #: Batched exploration: group same-(benchmark, agent) jobs into batches
+    #: of this many seeds stepped in lockstep (bit-identical results; see
+    #: :mod:`repro.dse.batched_env`).  ``0`` (the default) auto-sizes the
+    #: batch to spread seeds evenly over the configured worker count, so
+    #: batching multiplies with process parallelism; ``1`` disables
+    #: batching (the historical per-seed jobs).
+    batch_size: int = 0
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_KINDS:
@@ -431,17 +438,37 @@ class RuntimeSpec:
             raise ConfigurationError(
                 f"runtime compiled must be a boolean, got {self.compiled!r}"
             )
+        if (not isinstance(self.batch_size, int) or isinstance(self.batch_size, bool)
+                or self.batch_size < 0):
+            raise ConfigurationError(
+                f"runtime batch_size must be a non-negative integer "
+                f"(0 = auto), got {self.batch_size!r}"
+            )
 
     @classmethod
     def from_jobs(cls, jobs: int, store_path: Optional[str] = None,
-                  chunk_size: int = 256) -> "RuntimeSpec":
+                  chunk_size: int = 256, batch_size: int = 0) -> "RuntimeSpec":
         """The CLI convention: ``--jobs N`` means serial when N <= 1."""
         jobs = int(jobs)
         if jobs <= 1:
             return cls(executor="serial", jobs=1, store_path=store_path,
-                       chunk_size=chunk_size)
+                       chunk_size=chunk_size, batch_size=batch_size)
         return cls(executor="process", jobs=jobs, store_path=store_path,
-                   chunk_size=chunk_size)
+                   chunk_size=chunk_size, batch_size=batch_size)
+
+    def effective_batch_size(self, num_seeds: int) -> int:
+        """Resolve the batching policy for a seed list of the given length.
+
+        An explicit ``batch_size`` wins; ``0`` (auto) spreads the seeds
+        evenly over the configured worker count (ceiling division), so a
+        process fan-out gets one batched job per worker and batching
+        multiplies with — instead of replacing — process parallelism.
+        """
+        if self.batch_size:
+            return self.batch_size
+        if num_seeds <= 1:
+            return 1
+        return -(-num_seeds // self.jobs)
 
     def build_executor(self):
         """Instantiate the configured :class:`~repro.runtime.executor.Executor`."""
@@ -465,13 +492,14 @@ class RuntimeSpec:
             "chunk_size": self.chunk_size,
             "store_outputs": self.store_outputs,
             "compiled": self.compiled,
+            "batch_size": self.batch_size,
         }
 
     @classmethod
     def from_dict(cls, payload: object) -> "RuntimeSpec":
         payload = _require_mapping(payload, "runtime spec")
         allowed = ("executor", "jobs", "store_path", "chunk_size", "store_outputs",
-                   "compiled")
+                   "compiled", "batch_size")
         _check_keys(payload, allowed, "runtime spec")
         return cls(**payload)
 

@@ -160,6 +160,16 @@ class ApproxContext:
         self._profile.record(operator.name, int(result.size))
         return result
 
+    def route_keys(self) -> tuple:
+        """The ``(kind, variables)`` routing keys resolved so far, in first-use order.
+
+        A kernel names the same variable tuples on every run, so after one
+        execution this is the complete set of routing decisions the kernel
+        ever asks for — the basis of the evaluator's design-point
+        equivalence sharing (see :class:`~repro.dse.evaluator.Evaluator`).
+        """
+        return tuple(self._route.keys())
+
     def reset_profile(self) -> None:
         """Forget the operation counts accumulated so far."""
         self._profile = OperationProfile()

@@ -19,9 +19,16 @@ Both executors produce identical results for the same job list; the store
 only ever returns records bit-identical to a fresh evaluation.
 """
 
-from repro.runtime.executor import Executor, JobOutcome, ProcessExecutor, SerialExecutor
+from repro.runtime.executor import (
+    Executor,
+    JobOutcome,
+    ProcessExecutor,
+    SerialExecutor,
+    flatten_outcomes,
+)
 from repro.runtime.jobs import (
     AgentSpec,
+    BatchedExplorationJob,
     ExplorationJob,
     SweepJob,
     execute_job,
@@ -51,6 +58,7 @@ from repro.runtime.store import (
 __all__ = [
     "AGENT_NAMES",
     "AgentSpec",
+    "BatchedExplorationJob",
     "ExplorationJob",
     "SweepJob",
     "expand_jobs",
@@ -60,6 +68,7 @@ __all__ = [
     "JobOutcome",
     "SerialExecutor",
     "ProcessExecutor",
+    "flatten_outcomes",
     "EvaluationKey",
     "EvaluationStore",
     "StoreStats",

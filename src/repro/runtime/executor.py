@@ -29,10 +29,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
-from repro.runtime.jobs import ExplorationJob, execute_job
+from repro.runtime.jobs import BatchedExplorationJob, ExplorationJob, execute_job
 from repro.runtime.store import EvaluationKey, EvaluationStore, StoreStats
 
-__all__ = ["JobOutcome", "Executor", "SerialExecutor", "ProcessExecutor"]
+__all__ = ["JobOutcome", "Executor", "SerialExecutor", "ProcessExecutor",
+           "flatten_outcomes"]
 
 #: Called after every finished job with its outcome (progress reporting).
 OutcomeCallback = Callable[["JobOutcome"], None]
@@ -50,6 +51,35 @@ class JobOutcome:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+
+def flatten_outcomes(outcomes: Sequence[JobOutcome]) -> List[JobOutcome]:
+    """Expand batched-job outcomes into per-seed outcomes, in seed order.
+
+    A :class:`~repro.runtime.jobs.BatchedExplorationJob` returns one result
+    per seed; the reporting layers (campaign entries, experiment reports)
+    are written in terms of one outcome per (benchmark, agent, seed), so
+    this splits every batched outcome into the outcomes its serial
+    equivalents would have produced.  The batch's wall-clock is split
+    evenly across its seeds — the sum is preserved, the attribution is
+    nominal.  Failed batches propagate their error to every seed.
+    Non-batched outcomes pass through unchanged.
+    """
+    flat: List[JobOutcome] = []
+    for outcome in outcomes:
+        if not isinstance(outcome.job, BatchedExplorationJob):
+            flat.append(outcome)
+            continue
+        sub_jobs = outcome.job.jobs()
+        share = outcome.duration_s / len(sub_jobs)
+        if outcome.ok:
+            for sub_job, result in zip(sub_jobs, outcome.result):
+                flat.append(JobOutcome(job=sub_job, result=result, duration_s=share))
+        else:
+            for sub_job in sub_jobs:
+                flat.append(JobOutcome(job=sub_job, error=outcome.error,
+                                       duration_s=share))
+    return flat
 
 
 class Executor(ABC):

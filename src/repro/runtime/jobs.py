@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # imported lazily at run time to keep import edges acyclic
 __all__ = [
     "AgentSpec",
     "ExplorationJob",
+    "BatchedExplorationJob",
     "SweepJob",
     "expand_jobs",
     "expand_sweep_jobs",
@@ -150,6 +151,21 @@ class AgentSpec:
 
         return agent_family(self.name).kind == BASELINE
 
+    def supports_batching(self) -> bool:
+        """Whether same-hyperparameter jobs of this spec can run batched.
+
+        True for RL families with a registered vectorized builder and no
+        custom state encoder — the combinations whose batched execution is
+        bit-identical to the serial step loop.  Custom factories and
+        baseline explorers always run serially.
+        """
+        if self.factory is not None or "state_encoder" in self.options:
+            return False
+        from repro.experiments.registry import RL, agent_family
+
+        family = agent_family(self.name)
+        return family.kind == RL and family.vectorized is not None
+
 
 @dataclass(frozen=True)
 class ExplorationJob:
@@ -199,12 +215,85 @@ class ExplorationJob:
         )
 
 
+@dataclass(frozen=True)
+class BatchedExplorationJob:
+    """A group of same-(benchmark, agent, hyperparameters) explorations.
+
+    Executed through the batched engine (:mod:`repro.dse.batched_env`) as
+    one work unit: all seeds step in lockstep, sharing the dense Q-array
+    and the vectorized evaluation caches.  The result of executing a
+    batched job is a *list* of per-seed
+    :class:`~repro.dse.results.ExplorationResult`\\ s, in seed order, each
+    bit-identical to running the corresponding :class:`ExplorationJob`
+    serially; :func:`~repro.runtime.executor.flatten_outcomes` splits the
+    batched outcome back into per-seed outcomes for reporting.
+    """
+
+    benchmark_label: str
+    benchmark: "Benchmark"
+    seeds: Sequence[int]
+    agent: AgentSpec
+    max_steps: int = 10_000
+    env_kwargs: Mapping[str, object] = field(default_factory=dict)
+    random_start: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_steps <= 0:
+            raise ExplorationError(f"max_steps must be positive, got {self.max_steps}")
+        seeds = tuple(int(seed) for seed in self.seeds)
+        if not seeds:
+            raise ExplorationError("a batched job requires at least one seed")
+        object.__setattr__(self, "seeds", seeds)
+        object.__setattr__(self, "max_steps", int(self.max_steps))
+        object.__setattr__(self, "env_kwargs", dict(self.env_kwargs))
+        if not self.agent.supports_batching():
+            raise ConfigurationError(
+                f"agent {self.agent.label!r} does not support batched execution"
+            )
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.seeds)
+
+    def jobs(self) -> List[ExplorationJob]:
+        """The per-seed serial jobs this batch stands for, in seed order."""
+        return [
+            ExplorationJob(
+                benchmark_label=self.benchmark_label,
+                benchmark=self.benchmark,
+                seed=seed,
+                agent=self.agent,
+                max_steps=self.max_steps,
+                env_kwargs=dict(self.env_kwargs),
+                random_start=self.random_start,
+            )
+            for seed in self.seeds
+        ]
+
+    def describe(self) -> str:
+        """Short human-readable identity, used in error reports and logs."""
+        return (
+            f"{self.benchmark_label}[seeds={list(self.seeds)}, "
+            f"agent={self.agent.label}, steps={self.max_steps}, batched]"
+        )
+
+
+def _chunk_seeds(seeds: Sequence[int], batch_size: int) -> List[Sequence[int]]:
+    """Split a seed list into consecutive chunks of at most ``batch_size``."""
+    if batch_size == 0:  # auto: one batch spanning every seed
+        return [tuple(seeds)]
+    return [tuple(seeds[start:start + batch_size])
+            for start in range(0, len(seeds), batch_size)]
+
+
 def expand_jobs(benchmarks: Mapping[str, "Benchmark"],
                 agents: Union[AgentSpec, Sequence[AgentSpec]],
                 seeds: Sequence[int] = (0,),
                 max_steps: int = 10_000,
                 env_kwargs: Optional[Mapping[str, object]] = None,
-                random_start: bool = False) -> List[ExplorationJob]:
+                random_start: bool = False,
+                batch_size: Optional[int] = None) -> List[Union[ExplorationJob,
+                                                                BatchedExplorationJob]]:
     """Deterministically expand a campaign definition into its job list.
 
     Parameters
@@ -222,13 +311,24 @@ def expand_jobs(benchmarks: Mapping[str, "Benchmark"],
         (thresholds, ``compiled``, ...), shared by every job.
     random_start:
         Start each exploration from a random design point.
+    batch_size:
+        Batching policy for same-(benchmark, agent, hyperparameter) seed
+        groups.  ``None`` or ``1`` keeps the historical per-seed jobs;
+        ``0`` groups every batchable seed group into one
+        :class:`BatchedExplorationJob`; ``n > 1`` caps batches at ``n``
+        seeds.  Agents without a vectorized builder (baselines, custom
+        factories, custom state encoders) always expand to serial jobs,
+        as do single-seed groups — batching never changes results, only
+        wall-clock.
 
     Returns
     -------
-    The :class:`ExplorationJob` list in benchmark (mapping order) x agent x
-    seed order — the same definition always yields the same list, and
-    executors may run jobs in any order but report results in expansion
-    order.
+    The job list in benchmark (mapping order) x agent x seed order — the
+    same definition always yields the same list, and executors may run
+    jobs in any order but report results in expansion order.  With
+    batching enabled, consecutive seeds of one (benchmark, agent) group
+    collapse into :class:`BatchedExplorationJob` entries at the position
+    of their first seed.
     """
     if not benchmarks:
         raise ExplorationError("a campaign requires at least one benchmark")
@@ -240,10 +340,40 @@ def expand_jobs(benchmarks: Mapping[str, "Benchmark"],
     seeds = tuple(int(seed) for seed in seeds)
     if not seeds:
         raise ExplorationError("a campaign requires at least one seed")
+    if batch_size is not None and batch_size < 0:
+        raise ConfigurationError(
+            f"batch_size must be non-negative (0 = one batch per group), "
+            f"got {batch_size}"
+        )
 
-    jobs: List[ExplorationJob] = []
+    jobs: List[Union[ExplorationJob, BatchedExplorationJob]] = []
     for label, benchmark in benchmarks.items():
         for agent in agents:
+            batched = (
+                batch_size is not None and batch_size != 1
+                and len(seeds) > 1 and agent.supports_batching()
+            )
+            if batched:
+                for chunk in _chunk_seeds(seeds, batch_size):
+                    if len(chunk) == 1:
+                        jobs.append(
+                            ExplorationJob(
+                                benchmark_label=label, benchmark=benchmark,
+                                seed=chunk[0], agent=agent, max_steps=max_steps,
+                                env_kwargs=dict(env_kwargs or {}),
+                                random_start=random_start,
+                            )
+                        )
+                    else:
+                        jobs.append(
+                            BatchedExplorationJob(
+                                benchmark_label=label, benchmark=benchmark,
+                                seeds=chunk, agent=agent, max_steps=max_steps,
+                                env_kwargs=dict(env_kwargs or {}),
+                                random_start=random_start,
+                            )
+                        )
+                continue
             for seed in seeds:
                 jobs.append(
                     ExplorationJob(
@@ -383,6 +513,10 @@ def execute_job(job: ExplorationJob,
 
         return execute_sweep_job(job, store=store, store_outputs=store_outputs)
 
+    if isinstance(job, BatchedExplorationJob):
+        return _execute_batched_job(job, store=store, store_outputs=store_outputs,
+                                    on_step=on_step)
+
     from repro.dse.environment import AxcDseEnv
     from repro.dse.explorer import Explorer
 
@@ -403,3 +537,27 @@ def execute_job(job: ExplorationJob,
     agent = job.agent.build(environment, job.seed, job.max_steps)
     explorer = Explorer(environment, agent, max_steps=job.max_steps, on_step=on_step)
     return explorer.run(seed=job.seed, random_start=job.random_start)
+
+
+def _execute_batched_job(job: BatchedExplorationJob,
+                         store: Optional["EvaluationStore"] = None,
+                         store_outputs: bool = False,
+                         on_step: Optional[Callable[["StepRecord"], None]] = None,
+                         ) -> List["ExplorationResult"]:
+    """Run one batched job; returns per-seed results in seed order."""
+    if on_step is not None:
+        raise ConfigurationError(
+            f"{job.describe()}: per-step callbacks are not supported by the "
+            f"batched engine; run with batch_size=1 to stream step records"
+        )
+    from repro.dse.batched_env import BatchedAxcDseEnv, BatchedExplorer
+    from repro.experiments.registry import agent_family
+
+    env_kwargs: Dict[str, object] = {
+        "store": store, "store_outputs": store_outputs, **dict(job.env_kwargs)
+    }
+    environment = BatchedAxcDseEnv(job.benchmark, seeds=job.seeds, **env_kwargs)
+    family = agent_family(job.agent.name)
+    agent = family.vectorized(environment, job.seeds, job.max_steps, job.agent.options)
+    explorer = BatchedExplorer(environment, agent, max_steps=job.max_steps)
+    return explorer.run(random_start=job.random_start)
