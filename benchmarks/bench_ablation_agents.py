@@ -11,7 +11,6 @@ configuration each one finds.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.agents import (
     ExhaustiveExplorer,
@@ -22,7 +21,7 @@ from repro.agents import (
     SarsaAgent,
     SimulatedAnnealingExplorer,
 )
-from repro.agents.baselines import default_thresholds, fitness
+from repro.agents.baselines import fitness
 from repro.agents.schedules import LinearDecayEpsilon
 from repro.analysis import render_comparison, reward_curve
 from repro.benchmarks import MatMulBenchmark

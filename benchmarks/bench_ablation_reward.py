@@ -8,7 +8,6 @@ the best feasible configuration each exploration finds.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.agents import QLearningAgent
 from repro.agents.baselines import fitness

@@ -9,7 +9,6 @@ accuracy constraint keeps being respected most of the time.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import run_q_learning
 from repro.analysis import exploration_trace, trace_trends

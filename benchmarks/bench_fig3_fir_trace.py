@@ -9,7 +9,6 @@ trend — the agent struggles on this benchmark.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import run_q_learning
 from repro.analysis import exploration_trace, reward_curve, trace_trends

@@ -8,7 +8,6 @@ learns), while the FIR reward does not follow such a continuous improvement.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import run_q_learning
 from repro.analysis import improvement_ratio, reward_curve

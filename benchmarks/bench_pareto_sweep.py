@@ -32,7 +32,7 @@ from repro.dse.design_space import DesignPoint
 from repro.dse.frontier import ParetoArchive, pareto_front_bruteforce
 from repro.dse.results import StepRecord
 from repro.metrics.deltas import ObjectiveDeltas
-from repro.runtime import EvaluationStore, ProcessExecutor, SerialExecutor
+from repro.runtime import EvaluationStore, ProcessExecutor
 
 
 def _synthetic_trace(num_steps: int, seed: int = 7):

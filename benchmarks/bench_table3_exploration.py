@@ -11,7 +11,6 @@ By default the 50x50 matrix is scaled down to 20x20 and the step budget to
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import paper_benchmark_suite, run_q_learning, summarize_objective
 from repro.analysis import render_table3

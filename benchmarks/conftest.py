@@ -12,7 +12,6 @@ full budgets and benchmark sizes.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.agents import QLearningAgent

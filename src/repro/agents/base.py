@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Hashable, Mapping, Optional, Tuple
+from typing import Any, Hashable, Mapping, Tuple
 
 import numpy as np
 

@@ -7,7 +7,7 @@ summaries) and a free-form comparison table for the agent ablation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.dse.results import ExplorationResult, ObjectiveSummary
 from repro.errors import ConfigurationError

@@ -8,7 +8,7 @@ whether the agent's behaviour improves over time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable
 
 import numpy as np
 

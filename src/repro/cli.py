@@ -16,6 +16,9 @@
 * ``paper`` — regenerate every table and figure of the paper through the
   artifact pipeline (incremental, fingerprinted, parallel; see
   :mod:`repro.reporting`);
+* ``lint`` — statically check the repo's invariants (determinism,
+  fingerprint purity, job picklability, error hygiene; see
+  :mod:`repro.devtools`);
 * ``list-benchmarks`` / ``list-agents`` — show the registries.
 
 ``explore``, ``compare``, ``campaign`` and ``sweep`` are thin builders:
@@ -217,6 +220,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "up to date")
     paper.add_argument("--list", action="store_true", dest="list_artifacts",
                        help="list the declared artifacts and exit")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repo's AST-based invariant checks (determinism, "
+             "fingerprint purity, job picklability, error hygiene)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
+                      help="files or directories to check (default: src)")
+    lint.add_argument("--format", choices=("human", "json"), default="human",
+                      dest="format_", metavar="FORMAT",
+                      help="output format: human (default) or json")
+    lint.add_argument("--rules", nargs="+", default=None, metavar="RULE",
+                      help="rule subset to run (default: all registered rules)")
 
     subparsers.add_parser("list-benchmarks", help="list the registered benchmarks")
     subparsers.add_parser("list-agents", help="list the registered agent families")
@@ -525,6 +541,17 @@ def _command_paper(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the lint engine is developer tooling, and the other
+    # subcommands should not pay its import cost.
+    from repro.devtools import lint_paths, render_human, render_json
+
+    report = lint_paths(args.paths, rules=args.rules or ())
+    rendered = render_human(report) if args.format_ == "human" else render_json(report)
+    print(rendered)
+    return 0 if report.ok else 1
+
+
 def _command_list_benchmarks(_: argparse.Namespace) -> int:
     for name in sorted(available()):
         print(name)
@@ -562,6 +589,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _command_campaign,
         "sweep": _command_sweep,
         "paper": _command_paper,
+        "lint": _command_lint,
         "list-benchmarks": _command_list_benchmarks,
         "list-agents": _command_list_agents,
     }

@@ -1,0 +1,59 @@
+"""Developer tooling: the repo's AST-based invariant lint engine.
+
+Every guarantee this reproduction makes — bit-identical serial/process/
+batched traces, stable ``fingerprint()`` keys shared across the sqlite
+:class:`~repro.runtime.store.EvaluationStore`, byte-stable paper artifacts
+— rests on a handful of coding invariants that runtime tests can only
+probe, never prove.  This package checks them *statically*, before code
+runs:
+
+* :mod:`repro.devtools.engine` — the lint driver: file collection,
+  pragma handling (``# repro: disable=<rule>``), violation sorting and
+  human / JSON rendering;
+* :mod:`repro.devtools.registry` — the checker registry
+  (:func:`register_checker`, :func:`checker_names`);
+* :mod:`repro.devtools.checkers` — the shipped repo-specific rules:
+
+  ============================  ===================================================
+  rule                          invariant it guards
+  ============================  ===================================================
+  ``determinism``               results never depend on ambient state: no global
+                                RNG calls, unseeded generators, wall-clock reads,
+                                environment reads or ordered set iteration
+  ``fingerprint-purity``        every ``fingerprint()``-bearing class is a frozen
+                                dataclass over immutable fields, and ``vars()``
+                                based fingerprints provably skip underscore attrs
+  ``job-contract``              job dataclasses dispatched through ``execute_job``
+                                / ``ProcessExecutor`` stay picklable: no lambda,
+                                callable, generator or open-handle fields
+  ``error-hygiene``             broad ``except`` blocks re-raise or capture a full
+                                traceback into the outcome (or carry a reasoned
+                                pragma)
+  ============================  ===================================================
+
+Run it as ``repro-axc lint [paths] [--format json] [--rules ...]`` or
+through :func:`lint_paths`.  A violation on a given line is suppressed by
+a trailing ``# repro: disable=<rule>[,<rule>...] -- <reason>`` pragma;
+rules that demand accountability (``error-hygiene``) reject pragmas
+without a reason.
+"""
+
+from repro.devtools.engine import (
+    LintReport,
+    LintViolation,
+    lint_paths,
+    render_human,
+    render_json,
+)
+from repro.devtools.registry import Checker, checker_names, register_checker
+
+__all__ = [
+    "Checker",
+    "LintReport",
+    "LintViolation",
+    "checker_names",
+    "lint_paths",
+    "register_checker",
+    "render_human",
+    "render_json",
+]

@@ -1,0 +1,16 @@
+"""The shipped lint rules.  Importing this package registers them all.
+
+Each module defines one :class:`~repro.devtools.registry.Checker`
+subclass and decorates it with
+:func:`~repro.devtools.registry.register_checker`; the registry is
+import-driven, so adding a rule is: write the module, import it here.
+"""
+
+from repro.devtools.checkers import (  # noqa: F401  (import-driven registration)
+    determinism,
+    error_hygiene,
+    fingerprint_purity,
+    job_contract,
+)
+
+__all__ = ["determinism", "error_hygiene", "fingerprint_purity", "job_contract"]

@@ -1,0 +1,179 @@
+"""``determinism``: results must never depend on ambient process state.
+
+Every number this repo publishes — store keys, report entries, paper
+artifacts — is promised to be a pure function of (spec, seed, catalog).
+This rule statically rejects the ways that promise silently breaks:
+
+* **global RNG calls** — ``np.random.choice(...)``, ``random.random()``:
+  module-level generators are shared mutable state, so call *order*
+  (batching, process fan-out) changes results.  Use
+  ``np.random.default_rng(seed)`` instances instead.
+* **unseeded generators** — ``np.random.default_rng()`` /
+  ``SeedSequence()`` / ``random.Random()`` without a seed pull entropy
+  from the OS.
+* **wall-clock reads** — ``time.time()``, ``datetime.now()``:
+  timestamps leak into fingerprinted payloads and byte-stable outputs.
+  (``time.perf_counter`` is allowed: duration metadata is explicitly
+  excluded from fingerprints and manifests.)
+* **environment reads** — ``os.environ`` / ``os.getenv``: results would
+  depend on who ran the code, not on the spec.
+* **ordered set iteration** — ``for x in {...}`` / ``list(set(...))``:
+  set order varies across processes (notably under string-hash
+  randomization), which is exactly how "identical" parallel shards
+  diverge.  Wrap in ``sorted(...)``; order-insensitive consumers
+  (``len``, ``min``, ``sum``, membership) are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.engine import LintViolation, SourceModule
+from repro.devtools.registry import Checker, register_checker
+
+__all__ = ["DeterminismChecker"]
+
+#: Wall-clock entry points whose values leak nondeterminism into data.
+_WALL_CLOCK = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Legacy module-level numpy RNG entry points (the shared global state).
+_NUMPY_GLOBAL = frozenset({
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "integers", "laplace", "logistic",
+    "lognormal", "multinomial", "multivariate_normal", "normal",
+    "permutation", "poisson", "rand", "randint", "randn", "random",
+    "random_integers", "random_sample", "ranf", "sample", "seed", "shuffle",
+    "standard_cauchy", "standard_exponential", "standard_gamma",
+    "standard_normal", "standard_t", "triangular", "uniform", "vonmises",
+    "wald", "weibull", "zipf",
+})
+
+#: Generator constructors that are fine *when seeded* (any argument).
+_SEEDED_CTORS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "random.Random",
+})
+
+#: Builtin consumers whose output order mirrors their input's iteration
+#: order — handing them a set makes the result order nondeterministic.
+_ORDER_SENSITIVE = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+@register_checker
+class DeterminismChecker(Checker):
+    name = "determinism"
+    description = ("no global RNGs, unseeded generators, wall-clock or "
+                   "environment reads, or ordered set iteration")
+
+    def check(self, module: SourceModule) -> Iterator[LintViolation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                violation = self._check_call(module, node)
+                if violation is not None:
+                    yield violation
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    yield module.violation(
+                        self.name, node.iter,
+                        "iterating a set has nondeterministic order across "
+                        "processes; wrap it in sorted(...)",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter):
+                        yield module.violation(
+                            self.name, comp.iter,
+                            "comprehension over a set has nondeterministic "
+                            "order across processes; wrap it in sorted(...)",
+                        )
+            elif isinstance(node, ast.Attribute):
+                violation = self._check_environ(module, node)
+                if violation is not None:
+                    yield violation
+
+    # ------------------------------------------------------------- calls
+
+    def _check_call(self, module: SourceModule,
+                    node: ast.Call) -> Optional[LintViolation]:
+        resolved = module.resolve(node.func)
+        if resolved is not None:
+            if resolved in _WALL_CLOCK:
+                return module.violation(
+                    self.name, node,
+                    f"{resolved}() reads the wall clock; results and "
+                    f"artifacts must not depend on when they were computed "
+                    f"(time.perf_counter is fine for duration metadata)",
+                )
+            if resolved == "os.getenv":
+                return module.violation(
+                    self.name, node,
+                    "os.getenv() makes results depend on the ambient "
+                    "environment; thread configuration through specs instead",
+                )
+            if resolved in _SEEDED_CTORS and not node.args and not node.keywords:
+                return module.violation(
+                    self.name, node,
+                    f"unseeded {resolved}() pulls OS entropy; pass an "
+                    f"explicit seed",
+                )
+            if resolved.startswith("numpy.random."):
+                tail = resolved.split(".")[-1]
+                if tail in _NUMPY_GLOBAL:
+                    return module.violation(
+                        self.name, node,
+                        f"{resolved}() uses numpy's shared global RNG; use a "
+                        f"seeded np.random.default_rng(seed) instance",
+                    )
+            if (resolved.startswith("random.")
+                    and resolved not in _SEEDED_CTORS
+                    and resolved != "random.SystemRandom"):
+                return module.violation(
+                    self.name, node,
+                    f"{resolved}() uses the stdlib's shared global RNG; use "
+                    f"a seeded np.random.default_rng(seed) instance",
+                )
+        # Order-sensitive builtins consuming a set expression directly.
+        if (isinstance(node.func, ast.Name) and node.func.id in _ORDER_SENSITIVE
+                and node.args and _is_set_expr(node.args[0])):
+            return module.violation(
+                self.name, node,
+                f"{node.func.id}(set(...)) materializes a set in "
+                f"nondeterministic order; use sorted(...)",
+            )
+        if (isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+                and node.args and _is_set_expr(node.args[0])):
+            return module.violation(
+                self.name, node,
+                "str.join over a set concatenates in nondeterministic "
+                "order; use sorted(...)",
+            )
+        return None
+
+    # ----------------------------------------------------------- environ
+
+    def _check_environ(self, module: SourceModule,
+                       node: ast.Attribute) -> Optional[LintViolation]:
+        if module.resolve(node) in ("os.environ", "os.environb"):
+            return module.violation(
+                self.name, node,
+                "os.environ access makes results depend on the ambient "
+                "environment; thread configuration through specs instead",
+            )
+        return None

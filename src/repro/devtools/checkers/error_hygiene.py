@@ -1,0 +1,128 @@
+"""``error-hygiene``: broad excepts must re-raise or keep the traceback.
+
+The campaign runtime deliberately captures per-job failures instead of
+killing a sweep — but a captured failure is only useful if the *full*
+traceback string travels into the outcome.  A broad handler that
+swallows the exception (or keeps only ``repr(exc)``) turns a debuggable
+failed shard into a dead end in the report.
+
+A bare ``except:`` or ``except Exception/BaseException:`` handler is
+compliant when its body
+
+* re-raises (``raise`` / ``raise Wrapped(...) from exc``), or
+* captures a traceback string — a call to ``traceback.format_exc()``,
+  ``traceback.format_exception(...)`` or ``traceback.print_exc()``,
+  directly or through a same-module helper that does (the rule
+  propagates traceback capture one call hop, so shared helpers like
+  ``_format_job_error`` in the executor count).
+
+Anything else needs a pragma *with a reason* — this rule sets
+``requires_reason``, so ``# repro: disable=error-hygiene`` alone is
+itself reported; only
+``# repro: disable=error-hygiene -- <why this swallow is safe>`` passes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator
+
+from repro.devtools.engine import LintViolation, SourceModule
+from repro.devtools.registry import Checker, register_checker
+
+__all__ = ["ErrorHygieneChecker"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+#: Calls that preserve the traceback inside a handler body.
+_TRACEBACK_CALLS = frozenset({
+    "traceback.format_exc",
+    "traceback.format_exception",
+    "traceback.print_exc",
+    "traceback.print_exception",
+})
+
+
+def _broad_name(module: SourceModule, handler: ast.ExceptHandler):
+    """The broad exception name a handler catches, or None."""
+    if handler.type is None:
+        return "bare except"
+    candidates = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+                  else [handler.type])
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BROAD:
+            return candidate.id
+        resolved = module.resolve(candidate)
+        if resolved in ("builtins.Exception", "builtins.BaseException"):
+            return resolved.split(".")[-1]
+    return None
+
+
+def _captures_traceback(module: SourceModule, node: ast.AST) -> bool:
+    """Whether any call under ``node`` captures a traceback directly."""
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        if module.resolve(child.func) in _TRACEBACK_CALLS:
+            return True
+        if (isinstance(child.func, ast.Attribute)
+                and child.func.attr in ("format_exc", "print_exc")):
+            return True
+    return False
+
+
+def _traceback_helpers(module: SourceModule) -> FrozenSet[str]:
+    """Names of same-module functions that capture a traceback themselves.
+
+    One hop of propagation: a handler delegating to e.g.
+    ``_format_job_error`` (which calls ``traceback.format_exc()``) is as
+    compliant as one calling ``format_exc`` inline.
+    """
+    helpers = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _captures_traceback(module, node):
+                helpers.add(node.name)
+    return frozenset(helpers)
+
+
+def _handler_is_compliant(module: SourceModule, handler: ast.ExceptHandler,
+                          helpers: FrozenSet[str]) -> bool:
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Name) and func.id in helpers) or (
+                        isinstance(func, ast.Attribute) and func.attr in helpers):
+                    return True
+        if _captures_traceback(module, stmt):
+            return True
+    return False
+
+
+@register_checker
+class ErrorHygieneChecker(Checker):
+    name = "error-hygiene"
+    description = ("broad 'except Exception' handlers re-raise or capture a "
+                   "full traceback string into the outcome")
+    requires_reason = True
+
+    def check(self, module: SourceModule) -> Iterator[LintViolation]:
+        helpers = _traceback_helpers(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                caught = _broad_name(module, handler)
+                if caught is None:
+                    continue
+                if _handler_is_compliant(module, handler, helpers):
+                    continue
+                yield module.violation(
+                    self.name, handler,
+                    f"broad handler ({caught}) neither re-raises nor captures "
+                    f"a traceback string (traceback.format_exc()) — failed "
+                    f"work becomes undebuggable in reports",
+                )

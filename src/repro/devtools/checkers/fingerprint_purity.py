@@ -1,0 +1,187 @@
+"""``fingerprint-purity``: fingerprinted state must be frozen and explicit.
+
+The store, the experiment runner and the artifact pipeline all key their
+caches on ``fingerprint()`` content hashes, so a fingerprint that can
+*drift* after construction silently corrupts every layer above it.  PR 4
+shipped exactly that bug: a memoized underscore attribute leaked into
+``benchmark_fingerprint`` through ``vars(...)`` and shifted store keys
+mid-run.  This rule makes the bug class unrepresentable:
+
+* a class defining ``fingerprint()`` must be a ``@dataclass(frozen=True)``
+  — mutable fingerprinted objects can change after their hash was taken;
+* its fingerprint-visible (non-underscore) fields must not be annotated
+  with mutable containers (``list``/``dict``/``set``/``ndarray``/...).
+  Read-only interfaces (``Mapping``, ``Sequence``, ``Tuple``) and nested
+  spec classes are fine;
+* any ``fingerprint``-named function that enumerates instance state via
+  ``vars(...)`` or ``__dict__`` must visibly exclude underscore attrs
+  (a ``.startswith("_")`` guard), so lazily-populated memo attributes can
+  never shift the hash again.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Union
+
+from repro.devtools.engine import LintViolation, SourceModule
+from repro.devtools.registry import Checker, register_checker
+
+__all__ = ["FingerprintPurityChecker"]
+
+#: Annotation names that make a fingerprint-visible field mutable.
+_MUTABLE_NAMES = frozenset({
+    "list", "dict", "set", "bytearray", "ndarray",
+    "List", "Dict", "Set", "Deque", "DefaultDict", "OrderedDict", "Counter",
+    "MutableMapping", "MutableSequence", "MutableSet",
+})
+
+#: Fully-resolved annotation paths that are mutable regardless of spelling.
+_MUTABLE_RESOLVED = frozenset({
+    "numpy.ndarray",
+    "typing.List", "typing.Dict", "typing.Set", "typing.DefaultDict",
+    "typing.Deque", "typing.Counter", "typing.OrderedDict",
+    "typing.MutableMapping", "typing.MutableSequence", "typing.MutableSet",
+    "collections.deque", "collections.defaultdict", "collections.OrderedDict",
+    "collections.Counter",
+})
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _dataclass_decorator(module: SourceModule,
+                         cls: ast.ClassDef) -> Optional[ast.expr]:
+    """The ``@dataclass`` / ``@dataclass(...)`` decorator, if present."""
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return decorator
+        if module.resolve(target) == "dataclasses.dataclass":
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False  # bare @dataclass defaults to frozen=False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            return isinstance(keyword.value, ast.Constant) and keyword.value.value is True
+    return False
+
+
+def _annotation_nodes(annotation: ast.expr) -> List[ast.expr]:
+    """The annotation expression, unwrapping quoted ("ClassName") forms."""
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            return [ast.parse(annotation.value, mode="eval").body]
+        except SyntaxError:
+            return []
+    return [annotation]
+
+
+def _mutable_reference(module: SourceModule,
+                       annotation: ast.expr) -> Optional[str]:
+    """The first mutable type named anywhere inside an annotation."""
+    for root in _annotation_nodes(annotation):
+        for node in ast.walk(root):
+            if isinstance(node, ast.Name) and node.id in _MUTABLE_NAMES:
+                return node.id
+            if isinstance(node, ast.Attribute):
+                resolved = module.resolve(node)
+                if resolved in _MUTABLE_RESOLVED:
+                    return resolved
+                if node.attr in _MUTABLE_NAMES and resolved is None:
+                    # e.g. np.ndarray under an unresolvable alias: still
+                    # unmistakably a mutable container by its final name.
+                    return node.attr
+    return None
+
+
+def _uses_underscore_guard(function: _FunctionNode) -> bool:
+    """Whether the function visibly filters underscore-prefixed names."""
+    for node in ast.walk(function):
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "startswith" and node.args):
+            first = node.args[0]
+            if (isinstance(first, ast.Constant) and isinstance(first.value, str)
+                    and first.value.startswith("_")):
+                return True
+    return False
+
+
+def _vars_reads(function: _FunctionNode) -> Iterator[ast.AST]:
+    """``vars(...)`` calls and ``.__dict__`` reads inside a function."""
+    for node in ast.walk(function):
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id == "vars"):
+            yield node
+        elif isinstance(node, ast.Attribute) and node.attr == "__dict__":
+            yield node
+
+
+@register_checker
+class FingerprintPurityChecker(Checker):
+    name = "fingerprint-purity"
+    description = ("fingerprint()-bearing classes are frozen dataclasses over "
+                   "immutable fields; vars()-based fingerprints exclude "
+                   "underscore attrs")
+
+    def check(self, module: SourceModule) -> Iterator[LintViolation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_fingerprint_function(module, node)
+
+    # ----------------------------------------------------------- classes
+
+    def _check_class(self, module: SourceModule,
+                     cls: ast.ClassDef) -> Iterator[LintViolation]:
+        has_fingerprint = any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == "fingerprint"
+            for stmt in cls.body
+        )
+        if not has_fingerprint:
+            return
+        decorator = _dataclass_decorator(module, cls)
+        if decorator is None or not _is_frozen(decorator):
+            yield module.violation(
+                self.name, cls,
+                f"class {cls.name} defines fingerprint() but is not a frozen "
+                f"dataclass; fingerprinted state must be @dataclass(frozen=True) "
+                f"so it cannot drift after hashing",
+            )
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.AnnAssign) or not isinstance(stmt.target,
+                                                                     ast.Name):
+                continue
+            field_name = stmt.target.id
+            if field_name.startswith("_"):
+                continue
+            mutable = _mutable_reference(module, stmt.annotation)
+            if mutable is not None:
+                yield module.violation(
+                    self.name, stmt,
+                    f"fingerprint-visible field {cls.name}.{field_name} is "
+                    f"annotated with mutable type {mutable!r}; use an immutable "
+                    f"or read-only type (tuple, Mapping, a frozen spec class)",
+                )
+
+    # --------------------------------------------------------- functions
+
+    def _check_fingerprint_function(self, module: SourceModule,
+                                    function: _FunctionNode,
+                                    ) -> Iterator[LintViolation]:
+        if function.name != "fingerprint" and not function.name.endswith("_fingerprint"):
+            return
+        reads = list(_vars_reads(function))
+        if reads and not _uses_underscore_guard(function):
+            yield module.violation(
+                self.name, reads[0],
+                f"{function.name}() enumerates instance attributes via "
+                f"vars()/__dict__ without excluding underscore attrs; memoized "
+                f"state would shift the fingerprint (the PR-4 bug class) — "
+                f"add an attr.startswith('_') filter",
+            )

@@ -1,0 +1,290 @@
+"""The lint driver: parse sources, run checkers, honour pragmas, render.
+
+The engine never imports the code it checks — everything is :mod:`ast`
+based, so linting a module with import-time side effects (or a module
+that would not even import in this environment) is safe and fast.
+
+Pragmas
+-------
+A violation is suppressed by a pragma comment on its reported line::
+
+    value = time.time()  # repro: disable=determinism -- timestamp is display-only
+
+The grammar is ``# repro: disable=<rule>[,<rule>...][ -- <reason>]``;
+``disable=all`` suppresses every rule.  Rules with
+``requires_reason = True`` (``error-hygiene``) reject reasonless
+pragmas: the violation is re-reported with a note instead of silently
+vanishing, so accountability cannot be pragma'd away.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.devtools.registry import Checker, build_checkers
+
+__all__ = [
+    "LintViolation",
+    "LintReport",
+    "SourceModule",
+    "collect_files",
+    "lint_paths",
+    "render_human",
+    "render_json",
+]
+
+#: Schema version of the JSON output document.
+JSON_FORMAT_VERSION = 1
+
+#: ``# repro: disable=rule1,rule2 -- reason`` (reason optional).
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*disable=(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+    r"(?:\s*--\s*(?P<reason>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """A parsed ``# repro: disable=...`` comment."""
+
+    rules: Tuple[str, ...]
+    reason: Optional[str]
+
+    def covers(self, rule: str) -> bool:
+        return "all" in self.rules or rule in self.rules
+
+
+def parse_pragmas(text: str) -> Dict[int, Pragma]:
+    """Per-line pragmas of a source file (1-based line numbers)."""
+    pragmas: Dict[int, Pragma] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        rules = tuple(part.strip() for part in match.group("rules").split(","))
+        pragmas[lineno] = Pragma(rules=rules, reason=match.group("reason"))
+    return pragmas
+
+
+class SourceModule:
+    """One parsed source file plus the lookup helpers checkers share.
+
+    ``resolve`` maps an expression back to the dotted import path it
+    refers to (``np.random.default_rng`` -> ``numpy.random.default_rng``
+    under ``import numpy as np``), which is what lets rules match on
+    *modules* rather than on spellings.
+    """
+
+    def __init__(self, path: Path, display_path: str, text: str,
+                 tree: ast.Module) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.text = text
+        self.tree = tree
+        self.pragmas = parse_pragmas(text)
+        self._aliases = self._import_aliases(tree)
+
+    @staticmethod
+    def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    bound = name.asname or name.name.split(".", 1)[0]
+                    target = name.name if name.asname else name.name.split(".", 1)[0]
+                    aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+        return aliases
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted import path an expression refers to, if derivable.
+
+        Returns ``None`` for anything that is not a (possibly aliased)
+        reference rooted at an imported module — locals, attributes of
+        ``self``, call results and so on never resolve, which is exactly
+        what keeps e.g. ``self.np_random.random()`` out of the
+        ``determinism`` rule's net.
+        """
+        if isinstance(node, ast.Name):
+            return self._aliases.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def violation(self, rule: str, node: ast.AST, message: str) -> LintViolation:
+        """Build a violation anchored at an AST node of this module."""
+        return LintViolation(
+            rule=rule,
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: Tuple[LintViolation, ...]
+    files_checked: int
+    rules: Tuple[str, ...]
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files and directories into a sorted, deduplicated file list.
+
+    Directories are searched recursively for ``*.py``; paths that do not
+    exist are configuration errors (exit 2 at the CLI), not silent no-ops.
+    """
+    files: List[Path] = []
+    for text in paths:
+        path = Path(text)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise ConfigurationError(f"lint path {path} does not exist")
+    unique: Dict[Path, None] = {}
+    for path in files:
+        unique.setdefault(path.resolve(), None)
+    return sorted(unique)
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def _apply_pragmas(module: SourceModule, checker: Checker,
+                   found: Iterable[LintViolation]) -> Tuple[List[LintViolation], int]:
+    """Split a checker's findings into (reported, suppressed-count)."""
+    reported: List[LintViolation] = []
+    suppressed = 0
+    for violation in found:
+        pragma = module.pragmas.get(violation.line)
+        if pragma is None or not pragma.covers(checker.name):
+            reported.append(violation)
+        elif checker.requires_reason and not pragma.reason:
+            reported.append(LintViolation(
+                rule=violation.rule, path=violation.path, line=violation.line,
+                column=violation.column,
+                message=(f"{violation.message} (pragma must carry a reason: "
+                         f"'# repro: disable={checker.name} -- why')"),
+            ))
+        else:
+            suppressed += 1
+    return reported, suppressed
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Sequence[str] = ()) -> LintReport:
+    """Lint files/directories with the named rules (default: all).
+
+    Unreadable paths and unknown rule names raise
+    :class:`~repro.errors.ConfigurationError`; syntactically invalid
+    sources are *reported* (rule ``syntax-error``) rather than raised,
+    so one broken file cannot hide the findings in the rest of a sweep.
+    """
+    checkers = build_checkers(rules)
+    files = collect_files(paths)
+
+    violations: List[LintViolation] = []
+    suppressed = 0
+    for path in files:
+        display = _display_path(path)
+        text = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            violations.append(LintViolation(
+                rule="syntax-error", path=display,
+                line=exc.lineno or 1, column=exc.offset or 1,
+                message=f"file does not parse: {exc.msg}",
+            ))
+            continue
+        module = SourceModule(path, display, text, tree)
+        for checker in checkers:
+            reported, skipped = _apply_pragmas(module, checker, checker.check(module))
+            violations.extend(reported)
+            suppressed += skipped
+
+    violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
+    return LintReport(
+        violations=tuple(violations),
+        files_checked=len(files),
+        rules=tuple(checker.name for checker in checkers),
+        suppressed=suppressed,
+    )
+
+
+def render_human(report: LintReport) -> str:
+    """Per-line findings plus a one-line summary."""
+    lines = [violation.render() for violation in report.violations]
+    noun = "file" if report.files_checked == 1 else "files"
+    if report.ok:
+        summary = f"{report.files_checked} {noun} checked: clean"
+    else:
+        summary = (f"{len(report.violations)} violation(s), "
+                   f"{report.files_checked} {noun} checked")
+    if report.suppressed:
+        summary += f" ({report.suppressed} pragma-suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Deterministic machine-readable form (sorted keys, sorted findings)."""
+    payload = {
+        "version": JSON_FORMAT_VERSION,
+        "rules": list(report.rules),
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "ok": report.ok,
+        "violations": [
+            {
+                "rule": violation.rule,
+                "path": violation.path,
+                "line": violation.line,
+                "column": violation.column,
+                "message": violation.message,
+            }
+            for violation in report.violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

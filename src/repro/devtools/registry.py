@@ -1,0 +1,76 @@
+"""Checker registry: rules register by name, the engine looks them up.
+
+Mirrors the repo's benchmark/agent/renderer registry pattern: a module
+defines a :class:`Checker` subclass, decorates it with
+:func:`register_checker`, and the lint engine (and the ``--rules`` CLI
+flag) address it by its ``name``.  Registration is import-driven —
+importing :mod:`repro.devtools.checkers` pulls in every shipped rule.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Type
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.devtools.engine import LintViolation, SourceModule
+
+__all__ = ["Checker", "register_checker", "checker_names", "build_checkers"]
+
+
+class Checker(ABC):
+    """One lint rule: inspects a parsed module, yields violations.
+
+    Subclasses set ``name`` (the registry / pragma / CLI identity),
+    ``description`` (one line, shown in ``--help`` style listings) and
+    implement :meth:`check`.  ``requires_reason`` marks rules whose
+    pragma suppressions must carry a ``-- reason`` trailer; the engine
+    re-reports reasonless suppressions of such rules.
+    """
+
+    name: str = ""
+    description: str = ""
+    requires_reason: bool = False
+
+    @abstractmethod
+    def check(self, module: "SourceModule") -> Iterable["LintViolation"]:
+        """Yield every violation of this rule found in ``module``."""
+
+
+_CHECKERS: Dict[str, Type[Checker]] = {}
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a :class:`Checker` subclass to the registry."""
+    if not cls.name:
+        raise ConfigurationError(f"checker {cls.__name__} must set a name")
+    if cls.name in _CHECKERS:
+        raise ConfigurationError(f"duplicate checker name {cls.name!r}")
+    _CHECKERS[cls.name] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Import-driven registration: the shipped rules live in
+    # repro.devtools.checkers and register themselves on first import.
+    import repro.devtools.checkers  # noqa: F401
+
+
+def checker_names() -> List[str]:
+    """The registered rule names, sorted."""
+    _ensure_loaded()
+    return sorted(_CHECKERS)
+
+
+def build_checkers(rules: Sequence[str] = ()) -> List[Checker]:
+    """Instantiate the requested rules (all of them when none are named)."""
+    _ensure_loaded()
+    names = list(rules) if rules else sorted(_CHECKERS)
+    unknown = sorted(name for name in names if name not in _CHECKERS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown lint rule(s) {unknown}; available: {sorted(_CHECKERS)}"
+        )
+    return [_CHECKERS[name]() for name in names]

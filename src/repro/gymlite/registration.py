@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Union
 
 from repro.errors import ConfigurationError
-from repro.gymlite.core import Env, Wrapper
+from repro.gymlite.core import Env
 
 __all__ = ["EnvSpec", "register", "make", "registry", "pprint_registry"]
 

@@ -11,11 +11,11 @@ them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, UnknownOperatorError
-from repro.operators.adders import CarryCutAdder, LowerOrAdder, TruncatedAdder
+from repro.operators.adders import LowerOrAdder, TruncatedAdder
 from repro.operators.base import Operator, OperatorCharacterization, OperatorKind
 from repro.operators.energy import CostModel, OperationCost
 from repro.operators.exact import ExactAdder, ExactMultiplier

@@ -9,7 +9,7 @@ accounting from the operation counts collected by the instrumentation layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping
 
 from repro.errors import ConfigurationError

@@ -39,6 +39,19 @@ __all__ = ["JobOutcome", "Executor", "SerialExecutor", "ProcessExecutor",
 OutcomeCallback = Callable[["JobOutcome"], None]
 
 
+def _format_job_error(job: ExplorationJob) -> str:
+    """The current exception's *full* traceback, headed by the job identity.
+
+    Captured failures travel as strings through :class:`JobOutcome` into
+    campaign entries and serialized experiment reports, so this is the
+    only diagnostic a failed shard leaves behind: it must carry the whole
+    traceback (not just the exception repr) plus which job produced it.
+    """
+    describe = getattr(job, "describe", None)
+    identity = describe() if callable(describe) else repr(job)
+    return f"job {identity} failed:\n{traceback.format_exc()}"
+
+
 @dataclass
 class JobOutcome:
     """Result (or captured failure) of one executed job."""
@@ -109,7 +122,7 @@ class SerialExecutor(Executor):
                 outcome = JobOutcome(job=job, result=result,
                                      duration_s=time.perf_counter() - started)
             except Exception:
-                outcome = JobOutcome(job=job, error=traceback.format_exc(),
+                outcome = JobOutcome(job=job, error=_format_job_error(job),
                                      duration_s=time.perf_counter() - started)
             outcomes.append(outcome)
             if on_outcome is not None:
@@ -135,7 +148,7 @@ def _run_job_in_worker(job: ExplorationJob,
     try:
         result = execute_job(job, store=store, store_outputs=store_outputs)
     except Exception:
-        return None, traceback.format_exc(), {}, store.stats
+        return None, _format_job_error(job), {}, store.stats
     new_entries = {
         key: record for key, record in store.snapshot().items() if key not in snapshot
     }
@@ -217,7 +230,7 @@ class ProcessExecutor(Executor):
         try:
             return pool.submit(_run_job_in_worker, job, snapshot_blob, store_outputs)
         except Exception:  # unpicklable job: captured, does not kill the sweep
-            return traceback.format_exc()
+            return _format_job_error(job)
 
     @staticmethod
     def _collect(job: ExplorationJob, future: object, store: EvaluationStore,
@@ -227,7 +240,9 @@ class ProcessExecutor(Executor):
         try:
             result, error, new_entries, stats = future.result()
         except Exception:  # pickling of arguments/results failed in transit
-            return JobOutcome(job=job, error=traceback.format_exc(),
+            # future.result() re-raises the worker exception with the remote
+            # traceback chained in, so _format_job_error keeps both sides.
+            return JobOutcome(job=job, error=_format_job_error(job),
                               duration_s=time.perf_counter() - started)
         store.merge(new_entries)
         store.record_external_lookups(stats.hits, stats.misses, stats.upgrades)

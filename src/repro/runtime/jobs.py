@@ -69,7 +69,7 @@ class AgentSpec:
 
     name: str
     options: Mapping[str, object] = field(default_factory=dict)
-    factory: Optional[AgentFactory] = None
+    factory: Optional[AgentFactory] = None  # repro: disable=job-contract -- documented contract: module-level callables only; ProcessExecutor captures submit-time pickle failures per job
     #: Reporting identity; defaults to ``name``.  Distinct labels let one
     #: campaign run several hyperparameter variants of the same family and
     #: keep their results apart.

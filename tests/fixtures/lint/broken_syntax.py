@@ -1,0 +1,4 @@
+"""Fixture: a file that does not parse (reported, never raised)."""
+
+def half_finished(:
+    return

@@ -1,0 +1,30 @@
+"""Fixture: determinism-compliant patterns that must NOT be flagged."""
+
+import time
+
+import numpy as np
+
+
+def seeded_generator(seed):
+    rng = np.random.default_rng(seed)
+    return rng.random()
+
+
+def durations_are_fine():
+    return time.perf_counter()
+
+
+def order_insensitive_set_use(values):
+    unique = sorted(set(values))
+    count = len(set(values))
+    smallest = min({3, 1, 2})
+    return unique, count, smallest, 3 in set(values)
+
+
+class Agent:
+    def __init__(self, rng):
+        self.np_random = rng
+
+    def act(self):
+        # Attribute of self never resolves to numpy.random: not flagged.
+        return self.np_random.random()

@@ -1,0 +1,45 @@
+"""Fixture: every way the ``determinism`` rule should fire.
+
+Never imported — the lint engine parses, it does not execute.
+"""
+
+import os
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def global_numpy_rng():
+    return np.random.choice([1, 2, 3])  # line 16: shared global RNG
+
+
+def global_stdlib_rng():
+    return random.random()  # line 20: shared global RNG
+
+
+def unseeded_generator():
+    return default_rng()  # line 24: unseeded ctor (aliased from-import)
+
+
+def wall_clock():
+    stamp = time.time()  # line 28: wall clock
+    now = datetime.now()  # line 29: wall clock
+    return stamp, now
+
+
+def environment_reads():
+    home = os.environ["HOME"]  # line 34: os.environ
+    path = os.getenv("PATH")  # line 35: os.getenv
+    return home, path
+
+
+def set_iteration(values):
+    for item in {3, 1, 2}:  # line 40: for over a set literal
+        print(item)
+    ordered = list(set(values))  # line 42: list(set(...))
+    doubled = [v * 2 for v in set(values)]  # line 43: comprehension over set
+    joined = ",".join({"b", "a"})  # line 44: join over set
+    return ordered, doubled, joined

@@ -1,0 +1,36 @@
+"""Fixture: error-hygiene-compliant patterns that must NOT be flagged."""
+
+import traceback
+
+
+def _describe_failure(job):
+    """Same-module helper that captures the traceback (one-hop rule)."""
+    return f"job {job!r} failed:\n{traceback.format_exc()}"
+
+
+def reraises(job):
+    try:
+        return job.run()
+    except Exception as exc:
+        raise RuntimeError(f"job {job!r} failed") from exc
+
+
+def captures_inline(job):
+    try:
+        return job.run(), None
+    except Exception:
+        return None, traceback.format_exc()
+
+
+def delegates_to_helper(job):
+    try:
+        return job.run(), None
+    except Exception:
+        return None, _describe_failure(job)
+
+
+def narrow_catch_is_fine(job):
+    try:
+        return job.run()
+    except ValueError:
+        return None

@@ -1,0 +1,22 @@
+"""Fixture: error-hygiene violations (swallowed broad excepts)."""
+
+
+def swallows_silently(job):
+    try:
+        return job.run()
+    except Exception:  # line 7: swallowed, no traceback captured
+        return None
+
+
+def keeps_only_repr(job):
+    try:
+        return job.run(), None
+    except BaseException as exc:  # line 14: repr() is not a traceback
+        return None, repr(exc)
+
+
+def bare_except(job):
+    try:
+        return job.run()
+    except:  # noqa: E722  # line 21: bare except, swallowed
+        return None

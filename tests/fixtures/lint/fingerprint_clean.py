@@ -1,0 +1,32 @@
+"""Fixture: fingerprint-purity-compliant patterns that must NOT be flagged."""
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class GoodSpec:
+    label: str
+    weights: Tuple[float, ...]
+    params: Mapping[str, int]
+    parent: Optional["GoodSpec"] = None
+    _memo: Optional[str] = None  # underscore field: fingerprint-invisible
+
+    def fingerprint(self):
+        return f"{self.label}:{self.weights}"
+
+
+def benchmark_fingerprint(benchmark):
+    parts = [
+        f"{attr}={value!r}"
+        for attr, value in sorted(vars(benchmark).items())
+        if not attr.startswith("_")
+    ]
+    return "|".join(parts)
+
+
+class NotFingerprinted:
+    """No fingerprint() method: mutability is fine here."""
+
+    def __init__(self):
+        self.cache = {}

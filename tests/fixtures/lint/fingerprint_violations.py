@@ -1,0 +1,31 @@
+"""Fixture: fingerprint-purity violations (the PR-4 bug class)."""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+class MutableSpec:  # line 7: fingerprint() on a plain mutable class
+    def fingerprint(self):
+        return "x"
+
+
+@dataclass
+class UnfrozenSpec:  # line 13: @dataclass without frozen=True
+    label: str
+
+    def fingerprint(self):
+        return self.label
+
+
+@dataclass(frozen=True)
+class LeakySpec:
+    weights: List[float]  # line 22: mutable fingerprint-visible field
+    table: Dict[str, int]  # line 23: mutable fingerprint-visible field
+
+    def fingerprint(self):
+        return repr(self.weights)
+
+
+def benchmark_fingerprint(benchmark):
+    # vars() enumeration without an underscore guard (flagged on the vars call)
+    return "|".join(f"{k}={v}" for k, v in sorted(vars(benchmark).items()))

@@ -1,0 +1,27 @@
+"""Fixture: job-contract-compliant patterns that must NOT be flagged."""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class GoodJob:
+    benchmark_label: str
+    seed: int
+    max_steps: int
+    thresholds: Tuple[float, ...] = ()
+    store_path: Optional[str] = None  # ship a path, reopen in the worker
+
+
+class DispatchJob:
+    """Not a dataclass: not a job payload shape, so out of scope."""
+
+    def __init__(self, fn):
+        self.fn = fn
+
+
+@dataclass(frozen=True)
+class Helper:
+    """Not named *Job and not a registered extra: out of scope."""
+
+    callback: object = None

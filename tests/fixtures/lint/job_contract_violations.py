@@ -1,0 +1,20 @@
+"""Fixture: job-contract violations (unpicklable job payload shapes)."""
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TextIO
+
+StepHook = Callable[[int], None]
+
+
+@dataclass
+class MutableJob:  # line 10: job dataclass not frozen
+    label: str
+
+
+@dataclass(frozen=True)
+class LeakyJob:
+    hook: Callable[[int], int]  # line 16: callable field
+    step_hook: StepHook  # line 17: module-level Callable alias
+    stream: Iterator[int]  # line 18: generator/iterator field
+    log: TextIO  # line 19: open-handle field
+    fallback: object = field(default=lambda: 0)  # line 20: lambda default

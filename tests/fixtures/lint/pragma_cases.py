@@ -1,0 +1,31 @@
+"""Fixture: pragma suppression semantics.
+
+* a reasonless pragma suppresses ordinary rules;
+* ``disable=all`` suppresses every rule on its line;
+* ``error-hygiene`` (``requires_reason``) rejects reasonless pragmas and
+  honours reasoned ones.
+"""
+
+import time
+
+
+def suppressed_wall_clock():
+    return time.time()  # repro: disable=determinism
+
+
+def suppressed_by_all():
+    return time.time()  # repro: disable=all -- display-only timestamp
+
+
+def reasonless_broad_except(job):
+    try:
+        return job.run()
+    except Exception:  # repro: disable=error-hygiene
+        return None
+
+
+def reasoned_broad_except(job):
+    try:
+        return job.run()
+    except Exception:  # repro: disable=error-hygiene -- probe: failure means unsupported, detail is irrelevant
+        return None

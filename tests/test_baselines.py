@@ -13,7 +13,7 @@ from repro.agents.baselines import (
     default_thresholds,
     fitness,
 )
-from repro.dse import Evaluator, ExplorationThresholds
+from repro.dse import ExplorationThresholds
 from repro.errors import ConfigurationError
 from repro.metrics import ObjectiveDeltas
 

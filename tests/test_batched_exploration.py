@@ -28,7 +28,6 @@ from repro.runtime import (
     EvaluationStore,
     ExplorationJob,
     ProcessExecutor,
-    SerialExecutor,
     execute_job,
     expand_jobs,
     flatten_outcomes,

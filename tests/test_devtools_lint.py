@@ -1,0 +1,230 @@
+"""Tests for the invariant lint engine (``repro.devtools``).
+
+Fixture modules under ``tests/fixtures/lint/`` exercise each rule's
+positive and negative cases; they are parsed by the engine, never
+imported.  The meta-test at the bottom is the PR's own acceptance
+criterion: ``repro-axc lint src`` must be clean on the shipped tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.devtools import checker_names, lint_paths, render_human, render_json
+from repro.devtools.engine import JSON_FORMAT_VERSION, collect_files, parse_pragmas
+from repro.devtools.registry import Checker, build_checkers, register_checker
+from repro.errors import ConfigurationError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+
+
+def fixture(name: str) -> str:
+    path = FIXTURES / name
+    assert path.is_file(), f"missing lint fixture {path}"
+    return str(path)
+
+
+def lint_fixture(name: str, *rules: str):
+    return lint_paths([fixture(name)], rules=rules)
+
+
+class TestRegistry:
+    def test_all_four_rules_registered(self):
+        assert set(checker_names()) >= {
+            "determinism", "fingerprint-purity", "job-contract", "error-hygiene",
+        }
+
+    def test_unknown_rule_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="no-such-rule"):
+            build_checkers(["no-such-rule"])
+
+    def test_duplicate_registration_rejected(self):
+        class Dupe(Checker):
+            name = "determinism"
+            description = "clash"
+
+            def check(self, module):
+                return iter(())
+
+        with pytest.raises(ConfigurationError, match="determinism"):
+            register_checker(Dupe)
+
+    def test_missing_path_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            collect_files([str(FIXTURES / "no_such_file.py")])
+
+
+class TestDeterminismRule:
+    def test_flags_every_nondeterminism_source(self):
+        report = lint_fixture("determinism_violations.py", "determinism")
+        assert {v.rule for v in report.violations} == {"determinism"}
+        assert [v.line for v in report.violations] == [
+            16,  # np.random.choice: global numpy RNG
+            20,  # random.random: global stdlib RNG
+            24,  # default_rng(): unseeded (via from-import alias)
+            28,  # time.time
+            29,  # datetime.now
+            34,  # os.environ
+            35,  # os.getenv
+            40,  # for over a set literal
+            42,  # list(set(...))
+            43,  # comprehension over a set
+            44,  # str.join over a set
+        ]
+
+    def test_clean_patterns_not_flagged(self):
+        report = lint_fixture("determinism_clean.py", "determinism")
+        assert report.ok, render_human(report)
+
+
+class TestFingerprintPurityRule:
+    def test_flags_unfrozen_mutable_and_unguarded_vars(self):
+        report = lint_fixture("fingerprint_violations.py", "fingerprint-purity")
+        messages = [v.message for v in report.violations]
+        assert len(messages) == 5
+        assert "class MutableSpec defines fingerprint()" in messages[0]
+        assert "class UnfrozenSpec defines fingerprint()" in messages[1]
+        assert "LeakySpec.weights" in messages[2] and "'List'" in messages[2]
+        assert "LeakySpec.table" in messages[3] and "'Dict'" in messages[3]
+        assert "vars()/__dict__ without excluding underscore attrs" in messages[4]
+
+    def test_clean_patterns_not_flagged(self):
+        report = lint_fixture("fingerprint_clean.py", "fingerprint-purity")
+        assert report.ok, render_human(report)
+
+
+class TestJobContractRule:
+    def test_flags_every_unpicklable_field_shape(self):
+        report = lint_fixture("job_contract_violations.py", "job-contract")
+        messages = [v.message for v in report.violations]
+        assert len(messages) == 6
+        assert "MutableJob must be frozen" in messages[0]
+        assert "LeakyJob.hook is annotated as a callable" in messages[1]
+        # The module-level `StepHook = Callable[...]` alias is resolved too.
+        assert "LeakyJob.step_hook is annotated as a callable" in messages[2]
+        assert "LeakyJob.stream is annotated as a generator/iterator" in messages[3]
+        assert "LeakyJob.log is annotated as a open handle" in messages[4]
+        assert "LeakyJob.fallback defaults to a lambda" in messages[5]
+
+    def test_clean_patterns_not_flagged(self):
+        report = lint_fixture("job_contract_clean.py", "job-contract")
+        assert report.ok, render_human(report)
+
+
+class TestErrorHygieneRule:
+    def test_flags_swallowed_broad_handlers(self):
+        report = lint_fixture("error_hygiene_violations.py", "error-hygiene")
+        assert [(v.rule, v.line) for v in report.violations] == [
+            ("error-hygiene", 7),   # except Exception: return None
+            ("error-hygiene", 14),  # except BaseException: repr(exc) only
+            ("error-hygiene", 21),  # bare except
+        ]
+
+    def test_reraise_capture_and_helper_delegation_are_compliant(self):
+        report = lint_fixture("error_hygiene_clean.py", "error-hygiene")
+        assert report.ok, render_human(report)
+
+
+class TestPragmas:
+    def test_parse_pragma_grammar(self):
+        pragmas = parse_pragmas(
+            "x = 1  # repro: disable=determinism\n"
+            "y = 2  # repro: disable=a,b -- because\n"
+            "z = 3  # plain comment\n"
+        )
+        assert pragmas[1].rules == ("determinism",) and pragmas[1].reason is None
+        assert pragmas[2].rules == ("a", "b") and pragmas[2].reason == "because"
+        assert pragmas[2].covers("a") and not pragmas[2].covers("c")
+        assert 3 not in pragmas
+
+    def test_pragma_suppression_and_reason_enforcement(self):
+        report = lint_fixture("pragma_cases.py")
+        # Suppressed: reasonless determinism pragma, disable=all, and the
+        # reasoned error-hygiene pragma.
+        assert report.suppressed == 3
+        # Re-reported: the reasonless error-hygiene pragma (requires_reason).
+        assert len(report.violations) == 1
+        violation = report.violations[0]
+        assert violation.rule == "error-hygiene"
+        assert "pragma must carry a reason" in violation.message
+
+
+class TestSyntaxErrors:
+    def test_unparseable_file_is_reported_not_raised(self):
+        report = lint_fixture("broken_syntax.py")
+        assert [v.rule for v in report.violations] == ["syntax-error"]
+        assert "does not parse" in report.violations[0].message
+        assert report.files_checked == 1
+
+
+class TestRendering:
+    def test_human_rendering_has_location_rule_and_summary(self):
+        report = lint_fixture("error_hygiene_violations.py", "error-hygiene")
+        text = render_human(report)
+        assert "error_hygiene_violations.py:7:5: [error-hygiene]" in text
+        assert "3 violation(s), 1 file checked" in text
+
+    def test_json_schema(self):
+        report = lint_fixture("job_contract_violations.py", "job-contract")
+        payload = json.loads(render_json(report))
+        assert payload["version"] == JSON_FORMAT_VERSION
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        assert payload["suppressed"] == 0
+        assert payload["rules"] == ["job-contract"]
+        assert len(payload["violations"]) == 6
+        first = payload["violations"][0]
+        assert set(first) == {"rule", "path", "line", "column", "message"}
+        assert first["rule"] == "job-contract"
+        assert first["path"].endswith("job_contract_violations.py")
+
+    def test_json_reports_clean_runs_as_ok(self):
+        report = lint_fixture("job_contract_clean.py", "job-contract")
+        payload = json.loads(render_json(report))
+        assert payload["ok"] is True and payload["violations"] == []
+
+
+class TestCli:
+    def test_violations_exit_1_with_rule_and_location(self, capsys):
+        assert main(["lint", fixture("determinism_violations.py")]) == 1
+        output = capsys.readouterr().out
+        assert "[determinism]" in output
+        assert "determinism_violations.py:16:" in output
+
+    def test_clean_paths_exit_0(self, capsys):
+        assert main(["lint", fixture("determinism_clean.py"),
+                     fixture("job_contract_clean.py")]) == 0
+        assert "2 files checked: clean" in capsys.readouterr().out
+
+    def test_rules_filter(self, capsys):
+        assert main(["lint", fixture("determinism_violations.py"),
+                     "--rules", "job-contract"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert main(["lint", fixture("error_hygiene_violations.py"),
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert {v["rule"] for v in payload["violations"]} == {"error-hygiene"}
+
+    def test_unknown_rule_exits_2(self, capsys):
+        assert main(["lint", fixture("determinism_clean.py"),
+                     "--rules", "no-such-rule"]) == 2
+        assert "no-such-rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_2(self, capsys):
+        assert main(["lint", str(FIXTURES / "no_such_file.py")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestShippedTreeIsClean:
+    def test_lint_src_exits_0(self, capsys):
+        """The engine's own acceptance bar: the shipped tree lints clean."""
+        assert main(["lint", str(REPO_ROOT / "src")]) == 0
+        assert "clean" in capsys.readouterr().out

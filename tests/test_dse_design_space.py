@@ -7,7 +7,6 @@ import pytest
 
 from repro.dse import DesignPoint, DesignSpace
 from repro.errors import DesignSpaceError
-from repro.operators import default_catalog
 
 
 @pytest.fixture

@@ -8,7 +8,6 @@ import pytest
 from repro.dse import (
     Algorithm1Reward,
     DesignPoint,
-    DesignSpace,
     Evaluator,
     ExplorationThresholds,
     ScalarizedReward,

@@ -8,16 +8,13 @@ the exploration — configuration variants the ablation benches rely on.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 import repro.gymlite as gym
 from repro.agents import QLearningAgent, ThresholdBucketEncoder
 from repro.benchmarks import DotProductBenchmark
 from repro.dse import (
-    Algorithm1Reward,
     AxcDseEnv,
     DesignPoint,
-    Explorer,
     ScalarizedReward,
     explore,
 )

@@ -23,8 +23,8 @@ from repro.experiments import (
     rl_agent_names,
     run_experiment,
 )
-from repro.experiments.registry import agent_family, register_agent
-from repro.runtime import AgentSpec, EvaluationStore, ProcessExecutor, execute_job
+from repro.experiments.registry import register_agent
+from repro.runtime import AgentSpec, ProcessExecutor, execute_job
 from repro.runtime.jobs import ExplorationJob
 
 

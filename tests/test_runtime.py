@@ -254,6 +254,20 @@ class TestExecutors:
         assert not outcomes[0].ok and "boom" in outcomes[0].error
         assert outcomes[1].ok and outcomes[1].result.num_steps == 11
 
+    def test_captured_errors_carry_job_identity_and_full_traceback(self, dot_benchmark):
+        # A failed shard must be debuggable from the report alone: the
+        # outcome error names the job and keeps the whole traceback, not
+        # just the exception repr.
+        job = ExplorationJob(benchmark_label="bad", benchmark=dot_benchmark, seed=7,
+                             agent=AgentSpec.from_factory(_crashing_factory),
+                             max_steps=10)
+        for executor in (SerialExecutor(), ProcessExecutor(n_jobs=2)):
+            outcome = executor.run([job, job])[0]
+            assert not outcome.ok
+            assert job.describe() in outcome.error
+            assert "Traceback (most recent call last)" in outcome.error
+            assert "RuntimeError" in outcome.error and "boom" in outcome.error
+
     def test_process_executor_matches_serial_entry_for_entry(self):
         campaign_kwargs = dict(
             benchmarks=_small_benchmarks(),
