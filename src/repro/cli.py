@@ -5,6 +5,15 @@
 * ``characterize`` — print the reproduced Tables I and II;
 * ``run`` — execute a declarative experiment spec (a JSON document, see
   :mod:`repro.experiments`), with dotted ``--set key=value`` overrides;
+  ``--explain`` prints the planner's reuse decisions, ``--store`` plans
+  against an existing evaluation store;
+* ``plan`` — plan a batch of experiment specs against an evaluation store
+  without running them: the subsumption-aware planner
+  (:mod:`repro.planner`) reports what the store already answers vs. what
+  would actually evaluate (``--explain`` for per-unit detail, ``--format
+  json`` for the full plan document);
+* ``store stats`` — inspect a persistent evaluation store read-only:
+  per-context record counts, file size and lifetime hit/upgrade counters;
 * ``explore`` — run one exploration on a benchmark and print its
   Table-III style summary;
 * ``compare`` — run the RL agent and the baselines on the same benchmark;
@@ -129,6 +138,44 @@ def build_parser() -> argparse.ArgumentParser:
                               "--set benchmarks.0.params.rows=20); repeatable")
     run_cmd.add_argument("--out", default=None, metavar="PATH",
                          help="write the full experiment report as JSON")
+    run_cmd.add_argument("--store", default=None, metavar="PATH",
+                         help="existing evaluation store to plan reuse against "
+                              "(must exist; overrides runtime.store_path — use "
+                              "--set runtime.store_path=... to create a new one)")
+    run_cmd.add_argument("--explain", action="store_true",
+                         help="print the execution plan (what the store answers "
+                              "vs. what evaluates) before running")
+
+    plan_cmd = subparsers.add_parser(
+        "plan",
+        help="plan a batch of experiment specs against an evaluation store "
+             "without running them",
+    )
+    plan_cmd.add_argument("specs", nargs="+", metavar="SPEC.json",
+                          help="experiment spec documents planned as one batch "
+                               "(shared work is deduplicated across them)")
+    plan_cmd.add_argument("--store", default=None, metavar="PATH",
+                          help="existing evaluation store to plan reuse against "
+                               "(default: plan against an empty store)")
+    plan_cmd.add_argument("--explain", action="store_true",
+                          help="print the full per-node, per-unit rendering")
+    plan_cmd.add_argument("--format", choices=("human", "json"), default="human",
+                          dest="format_", metavar="FORMAT",
+                          help="output format: human (default) or json")
+
+    store_cmd = subparsers.add_parser(
+        "store", help="inspect persistent evaluation stores"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats",
+        help="report per-context record counts, file size and lifetime "
+             "hit/upgrade counters of a store file (read-only)",
+    )
+    store_stats.add_argument("path", metavar="PATH", help="sqlite store file")
+    store_stats.add_argument("--format", choices=("human", "json"), default="human",
+                             dest="format_", metavar="FORMAT",
+                             help="output format: human (default) or json")
 
     explore_cmd = subparsers.add_parser(
         "explore", help="run one exploration and print its Table-III summary"
@@ -406,8 +453,9 @@ def _command_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    spec_path = Path(args.spec)
+def _load_spec(path_text: str, overrides: Optional[List[str]] = None) -> ExperimentSpec:
+    """Load (and optionally override) one experiment spec document."""
+    spec_path = Path(path_text)
     if not spec_path.exists():
         raise ConfigurationError(f"experiment spec file {spec_path} does not exist")
     try:
@@ -416,18 +464,57 @@ def _command_run(args: argparse.Namespace) -> int:
         raise ConfigurationError(
             f"experiment spec {spec_path} is not valid JSON: {exc}"
         ) from exc
-    if args.overrides:
-        payload = apply_overrides(payload, args.overrides)
-    spec = ExperimentSpec.from_dict(payload)
+    if overrides:
+        payload = apply_overrides(payload, overrides)
+    return ExperimentSpec.from_dict(payload)
 
-    store = spec.runtime.build_store()
+
+def _open_existing_store(path_text: str):
+    """Open an existing on-disk store; missing or corrupt files exit 2.
+
+    The planner's ``--store`` names a store to *reuse*, so a path that does
+    not exist is a configuration mistake, and a file the store backend
+    cannot load raises :class:`ConfigurationError` (one line, exit 2)
+    rather than a raw sqlite/pickle traceback.
+    """
+    from repro.runtime.store import EvaluationStore
+
+    store_path = Path(path_text)
+    if not store_path.exists():
+        raise ConfigurationError(
+            f"evaluation store {store_path} does not exist (create one with "
+            f"'sweep --store' or 'campaign --store')"
+        )
+    return EvaluationStore(path=store_path)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec, args.overrides)
+    spec_path = Path(args.spec)
+
+    if args.store is not None:
+        store = _open_existing_store(args.store)
+    else:
+        store = spec.runtime.build_store()
     header = f"Experiment {spec.kind} {spec.fingerprint()} from {spec_path}"
     if spec.description:
         header += f" — {spec.description}"
     print(header)
     print(f"  {_expansion_summary(spec, store)}")
 
-    report = run_experiment(spec, store=store)
+    if args.explain or args.store is not None:
+        from repro.planner import execute_plan, plan_experiments
+
+        plan = plan_experiments([spec], store=store)
+        if args.explain:
+            print()
+            print(plan.explain())
+            print()
+        execution = execute_plan(plan, store=store,
+                                 executor=spec.runtime.build_executor())
+        report = execution.reports[spec.fingerprint()]
+    else:
+        report = run_experiment(spec, store=store)
     status = _print_report(report)
     print(f"\nWall-clock: {report.wall_clock_s:.2f} s")
 
@@ -436,6 +523,44 @@ def _command_run(args: argparse.Namespace) -> int:
         _write_output(out_path, report.to_json(), "experiment report")
         print(f"Report written to {out_path}")
     return status
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    from repro.planner import plan_experiments
+
+    specs = [_load_spec(path) for path in args.specs]
+    store = _open_existing_store(args.store) if args.store is not None else None
+    plan = plan_experiments(specs, store=store)
+
+    if args.format_ == "json":
+        print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+    elif args.explain:
+        print(plan.explain())
+    else:
+        print(plan.summary())
+        for node in plan.merge_nodes:
+            print(f"  {node.describe()}")
+    return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    from repro.runtime.store import inspect_store
+
+    info = inspect_store(args.path)
+    if args.format_ == "json":
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"Evaluation store {info['path']}: {info['records']} record(s), "
+          f"{info['size_bytes'] / 1024:.1f} KiB")
+    lifetime = info["lifetime"]
+    print(f"  lifetime: {lifetime['hits']} hit(s) / {lifetime['lookups']} "
+          f"lookup(s) ({100 * lifetime['hit_rate']:.0f} % hit rate), "
+          f"{lifetime['upgrades']} upgrade(s)")
+    for context in info["contexts"]:
+        signed = "signed" if context["signed"] else "unsigned"
+        print(f"  context {context['benchmark']}/{context['catalog']} "
+              f"seed={context['seed']} {signed}: {context['records']} record(s)")
+    return 0
 
 
 def _command_explore(args: argparse.Namespace) -> int:
@@ -584,6 +709,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     commands = {
         "characterize": _command_characterize,
         "run": _command_run,
+        "plan": _command_plan,
+        "store": _command_store,
         "explore": _command_explore,
         "compare": _command_compare,
         "campaign": _command_campaign,

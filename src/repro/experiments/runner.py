@@ -29,7 +29,8 @@ __all__ = ["run_experiment"]
 def run_experiment(spec: ExperimentSpec,
                    executor: Optional[object] = None,
                    store: Optional[object] = None,
-                   on_outcome: Optional[Callable] = None) -> ExperimentReport:
+                   on_outcome: Optional[Callable] = None,
+                   planner: Optional[object] = None) -> ExperimentReport:
     """Run one declarative experiment and return its report.
 
     Parameters
@@ -44,6 +45,12 @@ def run_experiment(spec: ExperimentSpec,
     on_outcome:
         Optional progress callback invoked with every finished
         :class:`~repro.runtime.executor.JobOutcome` (exploration kinds only).
+    planner:
+        Route execution through the subsumption-aware planner
+        (:mod:`repro.planner`): ``True`` for the default
+        :class:`~repro.planner.planner.QueryPlanner`, or a configured
+        instance.  Work the store already materializes replays instead of
+        re-evaluating; the report is bit-identical either way.
     """
     if not isinstance(spec, ExperimentSpec):
         raise ConfigurationError(
@@ -51,6 +58,15 @@ def run_experiment(spec: ExperimentSpec,
         )
     store = store if store is not None else spec.runtime.build_store()
     executor = executor if executor is not None else spec.runtime.build_executor()
+
+    if planner is not None and planner is not False:
+        from repro.planner import QueryPlanner, execute_plan, plan_experiments
+
+        chosen = planner if isinstance(planner, QueryPlanner) else QueryPlanner()
+        plan = plan_experiments([spec], store=store, planner=chosen)
+        execution = execute_plan(plan, store=store, executor=executor,
+                                 on_outcome=on_outcome)
+        return execution.reports[spec.fingerprint()]
 
     benchmarks = {bspec.label: bspec.build() for bspec in spec.benchmarks}
 

@@ -1,0 +1,57 @@
+"""Subsumption-aware experiment planning over the design space.
+
+The planner turns a batch of :class:`~repro.experiments.spec.ExperimentSpec`
+documents plus an :class:`~repro.runtime.store.EvaluationStore` into a
+minimal deterministic job DAG: work the store already materializes replays
+(pure store reads), only the genuinely new work evaluates, and every spec
+gets a report bit-identical to running it directly.
+
+Typical use::
+
+    from repro.planner import plan_experiments, execute_plan
+
+    plan = plan_experiments(specs, store=store)
+    print(plan.explain())            # what is reused vs. actually run
+    execution = execute_plan(plan, store=store, executor=executor)
+    report = execution.reports[specs[0].fingerprint()]
+
+See :mod:`repro.planner.plan` for the IR, :mod:`repro.planner.coverage`
+for the store coverage model, :mod:`repro.planner.normalize` for spec
+canonicalization and :mod:`repro.planner.planner` for the subsumption
+rules themselves.
+"""
+
+from repro.planner.execute import PlanExecution, execute_plan
+from repro.planner.normalize import normalize_spec, semantic_fingerprint
+from repro.planner.plan import (
+    EntryBinding,
+    EvaluateJobs,
+    ExperimentPlan,
+    ExplorationUnit,
+    MergeReports,
+    PlanNode,
+    PlanUnit,
+    ReplayFromStore,
+    SweepChunkUnit,
+    canonical_json,
+)
+from repro.planner.planner import QueryPlanner, plan_experiments
+
+__all__ = [
+    "EntryBinding",
+    "EvaluateJobs",
+    "ExperimentPlan",
+    "ExplorationUnit",
+    "MergeReports",
+    "PlanExecution",
+    "PlanNode",
+    "PlanUnit",
+    "QueryPlanner",
+    "ReplayFromStore",
+    "SweepChunkUnit",
+    "canonical_json",
+    "execute_plan",
+    "normalize_spec",
+    "plan_experiments",
+    "semantic_fingerprint",
+]

@@ -1,0 +1,278 @@
+"""Plan execution: run the DAG on the existing executors, merge reports back.
+
+:func:`execute_plan` walks an :class:`~repro.planner.plan.ExperimentPlan`
+in its (topological) node order:
+
+* :class:`~repro.planner.plan.EvaluateJobs` nodes run on the caller's
+  executor against the shared store — this is the paid work, and the store
+  receives every new evaluation (merge-back is the executors' existing
+  contract);
+* :class:`~repro.planner.plan.ReplayFromStore` nodes re-run the same
+  deterministic job code serially against the now-warm store, so every
+  design-point evaluation is a store hit;
+* :class:`~repro.planner.plan.MergeReports` nodes assemble one spec's
+  :class:`~repro.experiments.report.ExperimentReport` from the shared unit
+  outcomes, re-attaching the spec's own benchmark/agent labels.
+
+The merge path mirrors :func:`~repro.experiments.runner.run_experiment`
+field by field (entry order, sweep assembly, failure formatting, store and
+provenance payloads), which is what makes planned reports bit-identical to
+the unplanned path — see ``tests/test_planner.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ExplorationError
+from repro.experiments.report import ExperimentEntry, ExperimentReport
+from repro.experiments.spec import BenchmarkSpec, ExperimentSpec, ThresholdSpec
+from repro.planner.coverage import BenchmarkResolver
+from repro.planner.plan import (
+    EntryBinding,
+    EvaluateJobs,
+    ExperimentPlan,
+    ExplorationUnit,
+    MergeReports,
+    PlanUnit,
+    ReplayFromStore,
+    SweepChunkUnit,
+)
+
+__all__ = ["PlanExecution", "execute_plan"]
+
+
+@dataclass
+class PlanExecution:
+    """What executing a plan produced: per-spec reports plus reuse counters."""
+
+    plan: ExperimentPlan
+    #: One report per planned spec, keyed by the spec's exact fingerprint.
+    reports: Dict[str, ExperimentReport] = field(default_factory=dict)
+    stats_before: Optional[object] = None  # StoreStats at execution start
+    stats_after: Optional[object] = None  # StoreStats at execution end
+    wall_clock_s: float = 0.0
+
+    @property
+    def new_evaluations(self) -> int:
+        """Design points actually evaluated (store misses) by this execution."""
+        if self.stats_before is None or self.stats_after is None:
+            return 0
+        return self.stats_after.misses - self.stats_before.misses
+
+
+def _build_job(unit: PlanUnit, resolver: BenchmarkResolver,
+               label: Optional[str] = None,
+               agent_label: Optional[str] = None):
+    """The runtime job computing ``unit`` (labels default to canonical)."""
+    from repro.runtime.jobs import AgentSpec, ExplorationJob, SweepJob
+
+    resolved = resolver.resolve_unit(unit)
+    params = json.loads(unit.benchmark_params)
+    benchmark_label = (label if label is not None
+                       else BenchmarkSpec.default_label(unit.benchmark_name, params))
+    if isinstance(unit, SweepChunkUnit):
+        return SweepJob(
+            benchmark_label=benchmark_label,
+            benchmark=resolved.benchmark,
+            seed=unit.seed,
+            start=unit.start,
+            stop=unit.stop,
+            compiled=unit.compiled,
+        )
+    thresholds = ThresholdSpec.from_dict(json.loads(unit.thresholds))
+    return ExplorationJob(
+        benchmark_label=benchmark_label,
+        benchmark=resolved.benchmark,
+        seed=unit.seed,
+        agent=AgentSpec(
+            unit.agent_name,
+            options=json.loads(unit.agent_options),
+            label=agent_label if agent_label is not None else unit.agent_name,
+        ),
+        max_steps=unit.max_steps,
+        env_kwargs={**thresholds.env_kwargs(), "compiled": unit.compiled},
+    )
+
+
+def _run_unit_node(node, store, executor, resolver: BenchmarkResolver,
+                   outcomes: Dict[str, object],
+                   on_outcome: Optional[Callable]) -> None:
+    """Execute one EvaluateJobs/ReplayFromStore node; record per-unit outcomes."""
+    # ``store_outputs`` is a per-run flag on the executors, so units that
+    # need raw outputs retained run in their own call; order within each
+    # group is preserved and the groups share the store.
+    groups: Dict[bool, List[Tuple[str, PlanUnit]]] = {}
+    for unit in node.units:
+        wants_outputs = isinstance(unit, ExplorationUnit) and unit.store_outputs
+        groups.setdefault(wants_outputs, []).append((unit.fingerprint(), unit))
+    for store_outputs, members in groups.items():
+        jobs = [_build_job(unit, resolver) for _, unit in members]
+        results = executor.run(jobs, store=store, store_outputs=store_outputs,
+                               on_outcome=on_outcome)
+        for (fingerprint, _), outcome in zip(members, results):
+            outcomes[fingerprint] = outcome
+
+
+def _sweep_entry(binding: EntryBinding, plan: ExperimentPlan,
+                 spec: ExperimentSpec, outcomes: Dict[str, object],
+                 wall_clock_s: float) -> ExperimentEntry:
+    """Assemble one benchmark x seed sweep entry (mirrors ``run_sweep``)."""
+    from repro.dse.frontier import ParetoArchive
+    from repro.dse.sweep import SweepResult
+
+    chunks = [outcomes[fingerprint].result
+              for fingerprint in binding.unit_fingerprints]
+    archive = ParetoArchive()
+    for chunk in chunks:  # ascending chunk order, as run_sweep merges
+        archive.add_many(chunk.front)
+    first = chunks[0]
+    result = SweepResult(
+        benchmark_label=binding.benchmark_label,
+        benchmark_name=binding.benchmark_name,
+        seed=binding.seed,
+        space_size=first.space_size,
+        evaluations=sum(chunk.evaluated for chunk in chunks),
+        front=archive.front(),
+        thresholds=first.thresholds,
+        precise_cost=first.precise_cost,
+        duration_s=sum(outcomes[fingerprint].duration_s
+                       for fingerprint in binding.unit_fingerprints),
+        metadata={"chunks": len(chunks), "chunk_size": spec.runtime.chunk_size,
+                  "sweep_wall_clock_s": wall_clock_s},
+    )
+    return ExperimentEntry.from_sweep(result)
+
+
+def _check_sweep_failures(node: MergeReports, plan: ExperimentPlan,
+                          outcomes: Dict[str, object]) -> None:
+    """Raise exactly as ``run_sweep`` does when any chunk of the spec failed."""
+    failed: List[Tuple[SweepChunkUnit, object, str]] = []
+    total = 0
+    for binding in node.bindings:
+        for fingerprint in binding.unit_fingerprints:
+            total += 1
+            outcome = outcomes[fingerprint]
+            if not outcome.ok:
+                unit = plan.units[fingerprint]
+                describe = (f"{binding.benchmark_label}"
+                            f"[sweep {unit.start}:{unit.stop}, seed={unit.seed}]")
+                failed.append((unit, outcome, describe))
+    if failed:
+        details = "\n".join(
+            f"  {describe}:\n{outcome.error}" for _, outcome, describe in failed
+        )
+        raise ExplorationError(
+            f"{len(failed)} of {total} sweep chunk(s) failed:\n{details}"
+        )
+
+
+def _merge_report(node: MergeReports, plan: ExperimentPlan, store, executor,
+                  resolver: BenchmarkResolver, outcomes: Dict[str, object],
+                  wall_clock_s: float) -> ExperimentReport:
+    """Build one spec's report from the shared unit outcomes."""
+    from repro.runtime.executor import JobOutcome
+
+    spec = next(s for s in plan.specs if s.fingerprint() == node.spec_fingerprint)
+    entries: List[ExperimentEntry] = []
+    if node.spec_kind == "sweep":
+        _check_sweep_failures(node, plan, outcomes)
+        for binding in node.bindings:
+            entries.append(_sweep_entry(binding, plan, spec, outcomes,
+                                        wall_clock_s))
+    else:
+        for binding in node.bindings:
+            outcome = outcomes[binding.unit_fingerprints[0]]
+            # Re-attach the spec's own labels: the shared unit ran under its
+            # canonical identity, the entry reports under the spec's.
+            labeled_job = _build_job(plan.units[binding.unit_fingerprints[0]],
+                                     resolver, label=binding.benchmark_label,
+                                     agent_label=binding.agent_label)
+            entries.append(ExperimentEntry.from_outcome(JobOutcome(
+                job=labeled_job, result=outcome.result, error=outcome.error,
+                duration_s=outcome.duration_s,
+            )))
+
+    import repro
+
+    stats = store.stats
+    return ExperimentReport(
+        spec=spec,
+        entries=tuple(entries),
+        wall_clock_s=wall_clock_s,
+        store={
+            "size": len(store),
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "upgrades": stats.upgrades,
+            "lookups": stats.lookups,
+            "hit_rate": stats.hit_rate,
+            "path": None if store.path is None else str(store.path),
+        },
+        provenance={
+            "fingerprint": spec.fingerprint(),
+            "repro_version": repro.__version__,
+            "executor": type(executor).__name__,
+        },
+    )
+
+
+def execute_plan(plan: ExperimentPlan,
+                 store: Optional[object] = None,
+                 executor: Optional[object] = None,
+                 on_outcome: Optional[Callable] = None) -> PlanExecution:
+    """Execute a plan and return per-spec reports plus reuse counters.
+
+    Parameters
+    ----------
+    plan:
+        The DAG from :func:`~repro.planner.planner.plan_experiments`.  The
+        store passed here should be the one the plan was computed against —
+        replay decisions assume its coverage.
+    store, executor:
+        Runtime pieces; default to an in-memory store and the serial
+        executor.  ``executor`` runs :class:`EvaluateJobs` nodes only;
+        replay is always serial (its cost is store lookups, not compute).
+    on_outcome:
+        Optional progress callback for evaluated exploration outcomes,
+        matching :func:`run_experiment`'s parameter.
+    """
+    if not isinstance(plan, ExperimentPlan):
+        raise ConfigurationError(
+            f"execute_plan expects an ExperimentPlan, got {type(plan).__name__}"
+        )
+    from repro.runtime.executor import SerialExecutor
+    from repro.runtime.store import EvaluationStore
+
+    store = store if store is not None else EvaluationStore()
+    executor = executor if executor is not None else SerialExecutor()
+    replayer = SerialExecutor()
+    resolver = BenchmarkResolver()
+
+    execution = PlanExecution(plan=plan, stats_before=store.stats)
+    outcomes: Dict[str, object] = {}
+    started = time.perf_counter()
+    for node in plan.nodes:
+        if isinstance(node, EvaluateJobs):
+            forward = on_outcome if any(
+                isinstance(unit, ExplorationUnit) for unit in node.units
+            ) else None
+            _run_unit_node(node, store, executor, resolver, outcomes, forward)
+        elif isinstance(node, ReplayFromStore):
+            _run_unit_node(node, store, replayer, resolver, outcomes, None)
+        elif isinstance(node, MergeReports):
+            wall_clock_s = time.perf_counter() - started
+            execution.reports[node.spec_fingerprint] = _merge_report(
+                node, plan, store, executor, resolver, outcomes, wall_clock_s
+            )
+        else:  # pragma: no cover - the planner only emits the three kinds
+            raise ConfigurationError(
+                f"plan node {node.node_id} has unknown kind {type(node).__name__}"
+            )
+    store.flush()
+    execution.stats_after = store.stats
+    execution.wall_clock_s = time.perf_counter() - started
+    return execution

@@ -1,0 +1,57 @@
+"""Spec normalization: one canonical form per semantically-equal experiment.
+
+Two specs can describe the same experiment in different spellings — paper
+labels vs. explicit parameters (``"matmul_50x50"`` vs.
+``matmul:rows=50,...`` *with the same label*), benchmarks or agents or
+seeds listed in a different order, defaults spelled out vs. omitted.  The
+:meth:`~repro.experiments.spec.ExperimentSpec.fingerprint` is
+order-sensitive (it hashes the document as written), so those spellings
+get distinct exact fingerprints even though their reports hold the same
+entries in a different order.
+
+:func:`normalize_spec` maps every spelling to one canonical form: paper
+labels resolved to name+params (already done by
+:meth:`BenchmarkSpec.parse`), benchmarks and agents sorted by label, seeds
+sorted, runtime and description dropped to their defaults.
+:func:`semantic_fingerprint` is the canonical form's fingerprint — the
+identity under which semantically equal specs collide.
+
+Normalization canonicalizes *identity*, not *output*: a spec's report
+lists entries in the spec's own expansion order, so the planner dedups
+work at the unit level (where order cannot matter) and only uses the
+semantic fingerprint to recognize that two spellings cover the same
+design-space regions.  Labels stay significant — they are part of the
+report's content.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.spec import ExperimentSpec, RuntimeSpec
+
+__all__ = ["normalize_spec", "semantic_fingerprint"]
+
+
+def normalize_spec(spec: ExperimentSpec) -> ExperimentSpec:
+    """The canonical spelling of ``spec`` (same experiment, sorted parts).
+
+    Benchmarks and agents sort by label, seeds numerically; the runtime is
+    reset to the default (it never affects results) and the description is
+    dropped.  The result expands to the same work units as ``spec`` —
+    only the expansion *order* (and hence the exact fingerprint) is
+    canonicalized.
+    """
+    return ExperimentSpec(
+        kind=spec.kind,
+        benchmarks=tuple(sorted(spec.benchmarks, key=lambda b: b.label)),
+        agents=tuple(sorted(spec.agents, key=lambda a: a.label)),
+        seeds=tuple(sorted(spec.seeds)),
+        max_steps=spec.max_steps,
+        thresholds=spec.thresholds,
+        runtime=RuntimeSpec(),
+        description="",
+    )
+
+
+def semantic_fingerprint(spec: ExperimentSpec) -> str:
+    """Content fingerprint under which semantically equal specs collide."""
+    return normalize_spec(spec).fingerprint()

@@ -31,7 +31,6 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError, ReportingError
-from repro.experiments.runner import run_experiment
 from repro.experiments.spec import ExperimentSpec, RuntimeSpec
 from repro.reporting.artifact import ARTIFACT_FORMAT_VERSION, ArtifactSpec
 
@@ -281,9 +280,13 @@ class PaperPipeline:
                          stale: Sequence[ArtifactSpec]) -> Dict[str, object]:
         """Run each distinct experiment bound by the stale artifacts once.
 
-        Experiments are deduplicated by fingerprint and executed in sorted
-        fingerprint order on one shared executor and store, so the work —
-        and its results — are independent of which artifacts requested them.
+        Experiments are deduplicated by fingerprint and planned as one
+        batch through the subsumption-aware planner (:mod:`repro.planner`)
+        in sorted fingerprint order on one shared executor and store: work
+        the store already materializes — or that another experiment of the
+        same batch will materialize — replays instead of re-evaluating.
+        Reports are bit-identical to running each spec directly, so the
+        artifacts are independent of which experiments shared work.
         """
         needed: Dict[str, ExperimentSpec] = {}
         for spec in stale:
@@ -292,15 +295,20 @@ class PaperPipeline:
         if not needed:
             return {}
 
+        from repro.planner import execute_plan, plan_experiments
         from repro.runtime.store import EvaluationStore
 
         store = EvaluationStore(path=self.store_path)
         executor = self._runtime.build_executor()
 
+        specs = [needed[fingerprint].with_runtime(self._runtime)
+                 for fingerprint in sorted(needed)]
+        plan = plan_experiments(specs, store=store)
+        execution = execute_plan(plan, store=store, executor=executor)
+
         reports: Dict[str, object] = {}
         for fingerprint in sorted(needed):
-            spec = needed[fingerprint].with_runtime(self._runtime)
-            report = run_experiment(spec, executor=executor, store=store)
+            report = execution.reports[fingerprint]
             if report.failures:
                 failure = report.failures[0]
                 raise ReportingError(

@@ -56,6 +56,7 @@ __all__ = [
     "StoreStats",
     "benchmark_fingerprint",
     "catalog_fingerprint",
+    "inspect_store",
 ]
 
 
@@ -207,6 +208,9 @@ class EvaluationStore:
         self._hits = 0
         self._misses = 0
         self._upgrades = 0
+        #: Counters persisted by earlier owners of the backend (see
+        #: :attr:`lifetime_stats`); zero for in-memory / fresh stores.
+        self._base_stats = StoreStats(hits=0, misses=0, upgrades=0)
         if self._path is not None and self._path.exists():
             self._load()
 
@@ -229,6 +233,20 @@ class EvaluationStore:
     @property
     def stats(self) -> StoreStats:
         return StoreStats(hits=self._hits, misses=self._misses, upgrades=self._upgrades)
+
+    @property
+    def lifetime_stats(self) -> StoreStats:
+        """This session's counters plus those persisted by earlier owners.
+
+        :meth:`flush` writes these to the backend, so a store file carries
+        its cumulative hit/miss/upgrade history across runs — the
+        observability ``repro-axc store stats`` reports.
+        """
+        return StoreStats(
+            hits=self._base_stats.hits + self._hits,
+            misses=self._base_stats.misses + self._misses,
+            upgrades=self._base_stats.upgrades + self._upgrades,
+        )
 
     @property
     def hit_rate(self) -> float:
@@ -276,11 +294,12 @@ class EvaluationStore:
         return len(stale)
 
     def clear(self) -> None:
-        """Drop every record and reset the counters."""
+        """Drop every record and reset the counters (persisted ones too)."""
         self._records.clear()
         self._hits = 0
         self._misses = 0
         self._upgrades = 0
+        self._base_stats = StoreStats(hits=0, misses=0, upgrades=0)
 
     # -------------------------------------------------- snapshot / merge-back
 
@@ -315,13 +334,28 @@ class EvaluationStore:
         try:
             with sqlite3.connect(self._path) as connection:
                 rows = connection.execute("SELECT key, record FROM evaluations").fetchall()
+                stats_row = _read_stats_row(connection)
         except sqlite3.Error as error:
             raise ConfigurationError(
                 f"evaluation store {self._path} is not a readable store database "
                 f"({error}); delete the file or point --store elsewhere"
             ) from error
-        for text, blob in rows:
-            self._records.setdefault(_decode_key(text), pickle.loads(blob))
+        try:
+            for text, blob in rows:
+                self._records.setdefault(_decode_key(text), pickle.loads(blob))
+        except Exception as error:
+            # Anything the key/pickle decoding raises means the file is not a
+            # usable store; a one-line ConfigurationError beats a raw traceback.
+            raise ConfigurationError(
+                f"evaluation store {self._path} holds corrupt record(s) "
+                f"({type(error).__name__}: {error}); delete the file or point "
+                f"--store elsewhere"
+            ) from error
+        if stats_row is not None:
+            self._base_stats = StoreStats(
+                hits=int(stats_row[0]), misses=int(stats_row[1]),
+                upgrades=int(stats_row[2]),
+            )
 
     def flush(self) -> int:
         """Write the current contents to the sqlite backend; returns the count.
@@ -346,6 +380,17 @@ class EvaluationStore:
                     for key, record in self._records.items()
                 ],
             )
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS store_stats "
+                "(hits INTEGER NOT NULL, misses INTEGER NOT NULL, "
+                "upgrades INTEGER NOT NULL)"
+            )
+            connection.execute("DELETE FROM store_stats")
+            lifetime = self.lifetime_stats
+            connection.execute(
+                "INSERT INTO store_stats (hits, misses, upgrades) VALUES (?, ?, ?)",
+                (lifetime.hits, lifetime.misses, lifetime.upgrades),
+            )
         return len(self._records)
 
     def close(self) -> None:
@@ -364,3 +409,80 @@ class EvaluationStore:
             f"EvaluationStore(entries={len(self._records)}, backend={backend!r}, "
             f"hits={self._hits}, misses={self._misses}, upgrades={self._upgrades})"
         )
+
+
+# ------------------------------------------------------------- introspection
+
+
+def _read_stats_row(connection: sqlite3.Connection) -> Optional[Tuple]:
+    """The persisted counter row, or ``None`` for legacy stores without one."""
+    try:
+        return connection.execute(
+            "SELECT hits, misses, upgrades FROM store_stats"
+        ).fetchone()
+    except sqlite3.Error:
+        return None
+
+
+def inspect_store(path: Union[str, Path]) -> Dict[str, object]:
+    """Read-only summary of an on-disk store (``repro-axc store stats``).
+
+    Opens the sqlite backend in read-only mode and reports per-context
+    record counts, the file size and the persisted lifetime counters —
+    without unpickling a single record, so it is cheap even on large
+    stores.  Missing or unreadable paths raise a one-line
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    store_path = Path(path)
+    if not store_path.exists():
+        raise ConfigurationError(
+            f"evaluation store {store_path} does not exist"
+        )
+    try:
+        connection = sqlite3.connect(f"file:{store_path}?mode=ro", uri=True)
+        try:
+            rows = connection.execute("SELECT key FROM evaluations").fetchall()
+            stats_row = _read_stats_row(connection)
+        finally:
+            connection.close()
+    except sqlite3.Error as error:
+        raise ConfigurationError(
+            f"evaluation store {store_path} is not a readable store database "
+            f"({error}); delete the file or point --store elsewhere"
+        ) from error
+    contexts: Dict[Tuple[str, str, int, bool], int] = {}
+    try:
+        for (text,) in rows:
+            context = _decode_key(text).context
+            contexts[context] = contexts.get(context, 0) + 1
+    except Exception as error:
+        raise ConfigurationError(
+            f"evaluation store {store_path} holds corrupt key(s) "
+            f"({type(error).__name__}: {error}); delete the file or point "
+            f"--store elsewhere"
+        ) from error
+    lifetime = (StoreStats(hits=int(stats_row[0]), misses=int(stats_row[1]),
+                           upgrades=int(stats_row[2]))
+                if stats_row is not None else StoreStats(hits=0, misses=0))
+    return {
+        "path": str(store_path),
+        "size_bytes": store_path.stat().st_size,
+        "records": len(rows),
+        "contexts": [
+            {
+                "benchmark": benchmark,
+                "catalog": catalog,
+                "seed": seed,
+                "signed": signed,
+                "records": count,
+            }
+            for (benchmark, catalog, seed, signed), count in sorted(contexts.items())
+        ],
+        "lifetime": {
+            "hits": lifetime.hits,
+            "misses": lifetime.misses,
+            "upgrades": lifetime.upgrades,
+            "lookups": lifetime.lookups,
+            "hit_rate": lifetime.hit_rate,
+        },
+    }

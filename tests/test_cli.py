@@ -312,3 +312,142 @@ class TestPaperCommand:
     def test_scale_flags_are_exclusive(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["paper", "--smoke", "--paper-scale"])
+
+
+class TestPlanAndStore:
+    """The `plan` and `store stats` subcommands plus `run --store/--explain`."""
+
+    SWEEP = {
+        "kind": "sweep",
+        "benchmarks": ["dotproduct:length=4"],
+        "seeds": [0],
+        "runtime": {"chunk_size": 64},
+    }
+    COMPARE = {
+        "kind": "compare",
+        "benchmarks": ["dotproduct:length=4"],
+        "agents": ["q-learning", "random"],
+        "seeds": [0],
+        "max_steps": 12,
+    }
+
+    def _write_spec(self, tmp_path, payload, name="spec.json"):
+        spec_path = tmp_path / name
+        spec_path.write_text(json.dumps(payload))
+        return spec_path
+
+    def _warm_store(self, tmp_path):
+        """A sqlite store materializing the full dotproduct_4 seed-0 context."""
+        from repro.experiments import ExperimentSpec, run_experiment
+        from repro.runtime.store import EvaluationStore
+
+        store = EvaluationStore(path=tmp_path / "evals.sqlite")
+        run_experiment(ExperimentSpec.from_dict(self.SWEEP), store=store)
+        return store.path
+
+    def test_plan_summary_on_cold_batch(self, capsys, tmp_path):
+        spec_path = self._write_spec(tmp_path, self.COMPARE)
+        assert main(["plan", str(spec_path)]) == 0
+        output = capsys.readouterr().out
+        assert "plan " in output
+        assert "2 unit(s)" in output and "2 to evaluate" in output
+        assert "merge compare" in output
+
+    def test_plan_explain_against_warm_store(self, capsys, tmp_path):
+        store_path = self._warm_store(tmp_path)
+        spec_path = self._write_spec(tmp_path, self.COMPARE)
+        assert main(["plan", str(spec_path), "--store", str(store_path),
+                     "--explain"]) == 0
+        output = capsys.readouterr().out
+        assert "2 answered by the store" in output
+        assert "0 to evaluate" in output
+        assert "replay" in output
+        assert "dotproduct[seed=0" in output
+
+    def test_plan_format_json(self, capsys, tmp_path):
+        spec_path = self._write_spec(tmp_path, self.COMPARE)
+        assert main(["plan", str(spec_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["specs"] and payload["nodes"]
+        kinds = {node["kind"] for node in payload["nodes"]}
+        assert kinds == {"EvaluateJobs", "MergeReports"}
+
+    def test_plan_missing_store_exits_2(self, capsys, tmp_path):
+        spec_path = self._write_spec(tmp_path, self.COMPARE)
+        assert main(["plan", str(spec_path), "--store",
+                     str(tmp_path / "nope.sqlite")]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "does not exist" in err
+
+    def test_plan_corrupt_store_exits_2(self, capsys, tmp_path):
+        corrupt = tmp_path / "evals.sqlite"
+        corrupt.write_bytes(b"this is not a sqlite database at all")
+        spec_path = self._write_spec(tmp_path, self.COMPARE)
+        assert main(["plan", str(spec_path), "--store", str(corrupt)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "error:" in err
+
+    def test_run_with_store_replays(self, capsys, tmp_path):
+        store_path = self._warm_store(tmp_path)
+        spec_path = self._write_spec(tmp_path, self.COMPARE)
+        assert main(["run", str(spec_path), "--store", str(store_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Experiment compare" in output
+        assert "Explorer comparison on dotproduct_4" in output
+        assert "100 % hit rate" in output  # everything replayed
+
+    def test_run_explain_prints_the_plan(self, capsys, tmp_path):
+        spec_path = self._write_spec(tmp_path, self.COMPARE)
+        assert main(["run", str(spec_path), "--explain"]) == 0
+        output = capsys.readouterr().out
+        assert "plan " in output and "to evaluate" in output
+        assert "Experiment compare" in output  # the report still prints
+
+    def test_run_missing_store_exits_2(self, capsys, tmp_path):
+        spec_path = self._write_spec(tmp_path, self.COMPARE)
+        assert main(["run", str(spec_path), "--store",
+                     str(tmp_path / "nope.sqlite")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_run_corrupt_store_exits_2(self, capsys, tmp_path):
+        corrupt = tmp_path / "evals.sqlite"
+        corrupt.write_bytes(b"\x00" * 64)
+        spec_path = self._write_spec(tmp_path, self.COMPARE)
+        assert main(["run", str(spec_path), "--store", str(corrupt)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "error:" in err
+
+    def test_store_stats_human(self, capsys, tmp_path):
+        store_path = self._warm_store(tmp_path)
+        assert main(["store", "stats", str(store_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Evaluation store" in output
+        assert "288 record(s)" in output
+        assert "seed=0 unsigned: 288 record(s)" in output
+        assert "lifetime:" in output
+
+    def test_store_stats_json(self, capsys, tmp_path):
+        store_path = self._warm_store(tmp_path)
+        assert main(["store", "stats", str(store_path), "--format", "json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["records"] == 288
+        assert len(info["contexts"]) == 1
+        assert info["contexts"][0]["records"] == 288
+        assert info["lifetime"]["misses"] == 288
+
+    def test_store_stats_missing_path_exits_2(self, capsys, tmp_path):
+        assert main(["store", "stats", str(tmp_path / "nope.sqlite")]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "does not exist" in err
+
+    def test_store_stats_corrupt_file_exits_2(self, capsys, tmp_path):
+        corrupt = tmp_path / "evals.sqlite"
+        corrupt.write_bytes(b"garbage bytes, definitely not sqlite")
+        assert main(["store", "stats", str(corrupt)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "error:" in err

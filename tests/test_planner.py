@@ -1,0 +1,325 @@
+"""Tests for the subsumption-aware experiment planner (`repro.planner`).
+
+Covers the three contracts the planner makes:
+
+1. **Bit-identity** — a planned execution produces report entries equal to
+   running each spec directly through `run_experiment`, for every
+   experiment kind on both executors.
+2. **Subsumption** — a store-complete (or in-plan) exhaustive sweep
+   answers explorations without new evaluations; superset campaigns share
+   units with their sub-campaigns; overlapping sweep grids evaluate the
+   design space once.
+3. **Fingerprint hygiene** — no `RuntimeSpec` field may ever shift
+   `ExperimentSpec.fingerprint()` (enumerated per field, so a future
+   field cannot leak in silently).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ExperimentSpec, RuntimeSpec, run_experiment
+from repro.planner import (
+    EvaluateJobs,
+    MergeReports,
+    QueryPlanner,
+    ReplayFromStore,
+    execute_plan,
+    normalize_spec,
+    plan_experiments,
+    semantic_fingerprint,
+)
+from repro.runtime.store import EvaluationStore
+
+BENCH = "dotproduct:length=4"  # design space of 288 points, fast to sweep
+
+
+def _spec(kind: str, **overrides) -> ExperimentSpec:
+    payload = {
+        "kind": kind,
+        "benchmarks": [BENCH],
+        "seeds": [0],
+        "max_steps": 12,
+        "runtime": {"chunk_size": 64},
+    }
+    if kind == "explore":
+        payload["agents"] = ["q-learning"]
+    elif kind != "sweep":
+        payload["agents"] = ["q-learning", "random"]
+    payload.update(overrides)
+    return ExperimentSpec.from_dict(payload)
+
+
+def _warmed_store() -> EvaluationStore:
+    """A store materializing the full `BENCH` seed-0 context."""
+    store = EvaluationStore()
+    run_experiment(_spec("sweep"), store=store)
+    return store
+
+
+# --------------------------------------------------------------------------
+# Satellite: RuntimeSpec fields must never shift the spec fingerprint.
+# --------------------------------------------------------------------------
+
+#: One non-default value per RuntimeSpec field.  When RuntimeSpec grows a
+#: field this mapping goes stale and the enumeration test below fails,
+#: forcing the new field to be covered here (and therefore proven
+#: fingerprint-neutral) before it can ship.
+ALTERNATE_RUNTIME_VALUES = {
+    "executor": "process",
+    "jobs": 4,
+    "store_path": "elsewhere.sqlite",
+    "chunk_size": 7,
+    "store_outputs": True,
+    "compiled": False,
+    "batch_size": 3,
+}
+
+
+class TestRuntimeFingerprintInvariance:
+    def test_alternate_values_enumerate_every_runtime_field(self):
+        fields = {f.name for f in dataclasses.fields(RuntimeSpec)}
+        assert fields == set(ALTERNATE_RUNTIME_VALUES), (
+            "RuntimeSpec's fields changed; update ALTERNATE_RUNTIME_VALUES "
+            "and confirm the new field cannot shift ExperimentSpec.fingerprint()"
+        )
+
+    @pytest.mark.parametrize("field_name", sorted(ALTERNATE_RUNTIME_VALUES))
+    def test_field_never_shifts_spec_fingerprint(self, field_name):
+        spec = _spec("campaign", seeds=[0, 1])
+        kwargs = {field_name: ALTERNATE_RUNTIME_VALUES[field_name]}
+        if field_name == "jobs":
+            kwargs["executor"] = "process"  # serial requires jobs=1
+        assert spec.with_runtime(RuntimeSpec(**kwargs)).fingerprint() \
+            == spec.fingerprint()
+
+    def test_runtime_is_fingerprint_neutral_all_fields_at_once(self):
+        spec = _spec("sweep")
+        runtime = RuntimeSpec(**ALTERNATE_RUNTIME_VALUES)
+        assert spec.with_runtime(runtime).fingerprint() == spec.fingerprint()
+
+
+# --------------------------------------------------------------------------
+# Normalization
+# --------------------------------------------------------------------------
+
+class TestNormalization:
+    def test_ordering_and_runtime_are_semantically_neutral(self):
+        a = _spec("campaign", benchmarks=["dotproduct:length=4", "fir:num_samples=8"],
+                  agents=["q-learning", "random"], seeds=[1, 0],
+                  description="one way")
+        b = _spec("campaign", benchmarks=["fir:num_samples=8", "dotproduct:length=4"],
+                  agents=["random", "q-learning"], seeds=[0, 1],
+                  runtime={"executor": "process", "jobs": 2},
+                  description="another way")
+        assert a.fingerprint() != b.fingerprint()  # orderings differ...
+        assert semantic_fingerprint(a) == semantic_fingerprint(b)  # ...not meaning
+        assert normalize_spec(a) == normalize_spec(b)
+
+    def test_result_determining_fields_stay_significant(self):
+        assert semantic_fingerprint(_spec("campaign", seeds=[0])) \
+            != semantic_fingerprint(_spec("campaign", seeds=[1]))
+        assert semantic_fingerprint(_spec("campaign", max_steps=12)) \
+            != semantic_fingerprint(_spec("campaign", max_steps=13))
+
+
+# --------------------------------------------------------------------------
+# Satellite: bit-identity of planned execution, every kind x both executors.
+# --------------------------------------------------------------------------
+
+def _runtime_for(executor: str) -> dict:
+    if executor == "process":
+        return {"executor": "process", "jobs": 2, "chunk_size": 64}
+    return {"chunk_size": 64}
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    @pytest.mark.parametrize("kind", ["explore", "compare", "campaign", "sweep"])
+    def test_planned_equals_direct(self, kind, executor):
+        spec = _spec(kind, runtime=_runtime_for(executor))
+        direct = run_experiment(spec, store=EvaluationStore())
+
+        store = _warmed_store()
+        plan = plan_experiments([spec], store=store)
+        execution = execute_plan(plan, store=store,
+                                 executor=spec.runtime.build_executor())
+        planned = execution.reports[spec.fingerprint()]
+
+        assert planned.entries == direct.entries
+        assert planned.provenance["fingerprint"] == direct.provenance["fingerprint"]
+        assert not planned.failures
+
+    def test_planned_explore_replays_entirely_from_warm_store(self):
+        spec = _spec("explore")
+        store = _warmed_store()
+        plan = plan_experiments([spec], store=store)
+        assert plan.evaluate_nodes == ()
+        execution = execute_plan(plan, store=store)
+        assert execution.new_evaluations == 0
+
+
+# --------------------------------------------------------------------------
+# Acceptance: a finished sweep answers overlapping explore/compare batches.
+# --------------------------------------------------------------------------
+
+class TestSubsumption:
+    def test_sweep_warmed_store_answers_batch_with_zero_evaluations(self):
+        store = _warmed_store()
+        explore, compare = _spec("explore"), _spec("compare")
+        plan = plan_experiments([explore, compare], store=store)
+
+        assert plan.evaluate_nodes == ()
+        assert plan.replay_nodes != ()
+        execution = execute_plan(plan, store=store)
+        assert execution.new_evaluations == 0
+
+        for spec in (explore, compare):
+            direct = run_experiment(spec, store=EvaluationStore())
+            assert execution.reports[spec.fingerprint()].entries == direct.entries
+
+    def test_in_batch_sweep_answers_explorations_with_a_dep_edge(self):
+        # Cold store: the sweep must evaluate, and the explorations replay
+        # *after* it (dependency edge), not independently re-evaluate.
+        plan = plan_experiments([_spec("sweep"), _spec("compare")],
+                                store=EvaluationStore())
+        evaluates = plan.evaluate_nodes
+        assert len(evaluates) == 1
+        assert all(isinstance(u.start, int) for u in evaluates[0].units)
+        replays = plan.replay_nodes
+        assert len(replays) == 1
+        assert replays[0].depends_on == (evaluates[0].node_id,)
+        assert len(replays[0].units) == 2  # one per compared agent
+
+        store = EvaluationStore()
+        execution = execute_plan(plan, store=store)
+        assert execution.new_evaluations == 288  # the space, exactly once
+        for spec in plan.specs:
+            direct = run_experiment(spec, store=EvaluationStore())
+            assert execution.reports[spec.fingerprint()].entries == direct.entries
+
+    def test_overlapping_sweep_grids_evaluate_the_space_once(self):
+        # Two sweeps over the same benchmark with different chunk grids and
+        # overlapping seed sets: the seed the grids share is evaluated by
+        # the first grid and replayed by the second.
+        first = _spec("sweep", seeds=[0], runtime={"chunk_size": 64})
+        second = _spec("sweep", seeds=[0, 1], runtime={"chunk_size": 96})
+        plan = plan_experiments([first, second], store=EvaluationStore())
+
+        contexts = {unit.context for unit in plan.units.values()}
+        assert len(contexts) == 2  # seeds 0 and 1
+        assert len(plan.evaluate_nodes) == 2  # grid-64 seed 0, grid-96 seed 1
+        overlap_replays = [node for node in plan.replay_nodes if node.depends_on]
+        assert len(overlap_replays) == 1  # grid-96 seed 0 waits on grid-64
+
+        store = EvaluationStore()
+        execution = execute_plan(plan, store=store)
+        assert execution.new_evaluations == 2 * 288  # once per seed, not per grid
+        for spec in plan.specs:
+            direct = run_experiment(spec, store=EvaluationStore())
+            assert execution.reports[spec.fingerprint()].entries == direct.entries
+
+    def test_superset_campaign_subsumes_sub_campaign(self):
+        superset = _spec("campaign", agents=["q-learning", "random"], seeds=[0, 1])
+        subset = _spec("campaign", agents=["q-learning"], seeds=[0])
+        plan = plan_experiments([superset, subset], store=EvaluationStore())
+
+        assert len([u for u in plan.units.values() if hasattr(u, "agent_name")]) == 4
+        sub_merge = [node for node in plan.nodes
+                     if isinstance(node, MergeReports)
+                     and node.spec_fingerprint == subset.fingerprint()][0]
+        super_fps = {fp for node in plan.nodes
+                     if isinstance(node, MergeReports)
+                     and node.spec_fingerprint == superset.fingerprint()
+                     for binding in node.bindings
+                     for fp in binding.unit_fingerprints}
+        for binding in sub_merge.bindings:
+            assert set(binding.unit_fingerprints) <= super_fps
+
+    def test_exact_duplicate_specs_are_planned_once(self):
+        spec = _spec("explore")
+        plan = plan_experiments([spec, _spec("explore")], store=EvaluationStore())
+        assert len(plan.specs) == 1
+        assert len([n for n in plan.nodes if isinstance(n, MergeReports)]) == 1
+
+    def test_reuse_false_plans_everything_as_evaluation(self):
+        store = _warmed_store()
+        plan = plan_experiments([_spec("explore")], store=store,
+                                planner=QueryPlanner(reuse=False))
+        assert plan.replay_nodes == ()
+        assert len(plan.evaluate_nodes) == 1
+
+
+# --------------------------------------------------------------------------
+# Plan IR hygiene
+# --------------------------------------------------------------------------
+
+class TestPlanStructure:
+    def test_plan_is_deterministic(self):
+        store = _warmed_store()
+        specs = [_spec("compare"), _spec("sweep", seeds=[0, 1])]
+        first = plan_experiments(specs, store=store)
+        second = plan_experiments(specs, store=store)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.to_dict() == second.to_dict()
+
+    def test_nodes_are_topologically_ordered(self):
+        plan = plan_experiments([_spec("sweep"), _spec("compare")],
+                                store=EvaluationStore())
+        seen = set()
+        for node in plan.nodes:
+            assert all(dep in seen for dep in node.depends_on)
+            seen.add(node.node_id)
+
+    def test_explain_and_summary_render(self):
+        store = _warmed_store()
+        plan = plan_experiments([_spec("compare")], store=store)
+        text = plan.explain()
+        assert plan.summary() in text
+        assert "store" in text
+        for node in plan.nodes:
+            assert node.node_id in text
+        assert plan.replayed_units > 0
+        for node in plan.replay_nodes:
+            for unit in node.units:
+                assert unit.describe() in text
+
+    def test_non_spec_input_rejected(self):
+        with pytest.raises(ConfigurationError, match="ExperimentSpec"):
+            plan_experiments(["not a spec"])
+
+    def test_node_kinds_partition_units(self):
+        plan = plan_experiments([_spec("sweep"), _spec("explore")],
+                                store=EvaluationStore())
+        homes = {}
+        for node in plan.nodes:
+            if isinstance(node, (EvaluateJobs, ReplayFromStore)):
+                for unit in node.units:
+                    assert unit.fingerprint() not in homes
+                    homes[unit.fingerprint()] = node.node_id
+        assert set(homes) == set(plan.units)
+
+
+# --------------------------------------------------------------------------
+# run_experiment(planner=...) wiring
+# --------------------------------------------------------------------------
+
+class TestRunnerIntegration:
+    def test_run_experiment_with_planner_matches_direct(self):
+        spec = _spec("compare")
+        direct = run_experiment(spec, store=EvaluationStore())
+        store = _warmed_store()
+        hits_before = store.stats.hits
+        planned = run_experiment(spec, store=store, planner=True)
+        assert planned.entries == direct.entries
+        assert store.stats.hits > hits_before  # it really replayed
+
+    def test_run_experiment_accepts_configured_planner(self):
+        spec = _spec("explore")
+        report = run_experiment(spec, store=_warmed_store(),
+                                planner=QueryPlanner(reuse=False))
+        direct = run_experiment(spec, store=EvaluationStore())
+        assert report.entries == direct.entries
