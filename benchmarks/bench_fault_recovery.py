@@ -1,0 +1,192 @@
+"""Fault recovery — cost of a mid-campaign kill with checkpointed resume.
+
+Runs the same serial campaign (``dotproduct``, random agent, one job per
+seed, checkpoint journal next to the store) three times, each as its own
+subprocess so an injected ``kill`` fault can take the whole interpreter
+down exactly like a crashed host:
+
+1. **uninterrupted reference** — the baseline wall-clock and the report
+   bytes the resumed run must reproduce;
+2. **killed run** — a deterministic :class:`~repro.runtime.FaultPlan`
+   kills the campaign on its last-but-one job (``os._exit``, no cleanup,
+   no flush — the checkpoint journal is all that survives);
+3. **resume** — the same campaign with ``resume=True``: journaled jobs
+   restore instead of re-executing, only the unfinished tail runs.
+
+The recovery contract asserted here (and in CI's ``chaos`` job):
+
+* the killed run journaled every finished job (kill costs the job in
+  flight, not the jobs done);
+* the resume re-evaluates **less than 10 %** of the campaign's jobs;
+* the resumed report is **byte-identical** to the uninterrupted one.
+
+Full-scale runs record the trajectory in ``BENCH_fault_recovery.json`` at
+the repository root; ``--smoke`` shrinks the campaign and writes to a temp
+file so CI never clobbers the record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import textwrap
+import time
+from pathlib import Path
+
+from repro.runtime import FAULT_PLAN_ENV, CampaignCheckpoint, FaultPlan, FaultRule
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_JSON_PATH = _REPO_ROOT / "BENCH_fault_recovery.json"
+
+#: The campaign driver, run as a subprocess: one job per seed through
+#: ``run_experiment`` with a per-job checkpoint, canonical (timing-free)
+#: report bytes written at the end.
+_DRIVER = textwrap.dedent("""
+    import sys
+
+    from repro.experiments import ExperimentSpec, run_experiment
+
+    mode, store, out, num_seeds, max_steps = sys.argv[1:6]
+    spec = ExperimentSpec.from_dict({
+        "kind": "campaign",
+        "benchmarks": ["dotproduct:length=16"],
+        "agents": ["random"],
+        "seeds": list(range(int(num_seeds))),
+        "max_steps": int(max_steps),
+        "runtime": {
+            "executor": "serial",
+            "batch_size": 1,  # one job per seed: the kill lands mid-campaign
+            "store_path": store,
+            "checkpoint_interval": 1,
+            "resume": mode == "resume",
+        },
+    })
+    report = run_experiment(spec)
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(report.canonical_json())
+""")
+
+
+def _run_driver(work_dir, mode, store, out, num_seeds, max_steps,
+                fault_env=None):
+    """One campaign subprocess; returns (wall-clock seconds, returncode)."""
+    env = dict(os.environ)  # repro: disable=determinism -- subprocess env plumbing for the chaos driver; results come from the spec, not the ambient env
+    env.pop(FAULT_PLAN_ENV, None)
+    env["PYTHONPATH"] = (str(_REPO_ROOT / "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    env.update(fault_env or {})
+    driver = Path(work_dir) / "driver.py"
+    driver.write_text(_DRIVER, encoding="utf-8")
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, str(driver), mode, str(store), str(out),
+         str(num_seeds), str(max_steps)],
+        env=env, capture_output=True, text=True, timeout=600)
+    return time.perf_counter() - started, proc
+
+
+def test_fault_recovery_resume(benchmark, smoke, tmp_path):
+    if smoke:
+        num_seeds, max_steps = 24, 60
+    else:
+        num_seeds, max_steps = 40, 200
+    # Kill on the last-but-one job: every earlier job is journaled, so the
+    # resume re-evaluates 2 of num_seeds jobs — comfortably under the 10 %
+    # recovery-cost ceiling this benchmark enforces.
+    kill_after = num_seeds - 2
+    store = tmp_path / "evals.sqlite"
+    journal = tmp_path / "evals.sqlite.checkpoint.jsonl"
+    out = tmp_path / "report.json"
+    reference_out = tmp_path / "reference.json"
+
+    def run_all():
+        reference_s, reference = _run_driver(
+            tmp_path, "fresh", tmp_path / "reference.sqlite", reference_out,
+            num_seeds, max_steps)
+        assert reference.returncode == 0, reference.stderr
+
+        fault_env = FaultPlan(rules=(
+            FaultRule(action="kill", after=kill_after, times=1, exit_code=23),
+        )).install(tmp_path / "faults")
+        killed_s, killed = _run_driver(tmp_path, "fresh", store, out,
+                                       num_seeds, max_steps,
+                                       fault_env=fault_env)
+        journaled = len(CampaignCheckpoint(journal))
+
+        resume_s, resumed = _run_driver(tmp_path, "resume", store, out,
+                                        num_seeds, max_steps)
+        assert resumed.returncode == 0, resumed.stderr
+        return {
+            "reference_s": reference_s,
+            "killed_s": killed_s,
+            "killed_returncode": killed.returncode,
+            "journaled_at_kill": journaled,
+            "resume_s": resume_s,
+            "journaled_after_resume": len(CampaignCheckpoint(journal)),
+        }
+
+    measured = benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    # The kill was the injected one, after exactly kill_after finished jobs.
+    assert measured["killed_returncode"] == 23
+    assert measured["journaled_at_kill"] == kill_after
+    assert measured["journaled_after_resume"] == num_seeds
+
+    # Recovery cost: the resume re-evaluates only the unfinished tail.
+    reevaluated = num_seeds - measured["journaled_at_kill"]
+    reevaluated_fraction = reevaluated / num_seeds
+    assert reevaluated_fraction < 0.10, (
+        f"resume re-evaluated {reevaluated}/{num_seeds} jobs "
+        f"({100 * reevaluated_fraction:.0f} %); ceiling is 10 %"
+    )
+
+    # The resumed report is byte-identical to the uninterrupted one.
+    identical = out.read_bytes() == reference_out.read_bytes()
+    assert identical, "resumed report differs from the uninterrupted run"
+
+    report = {
+        "benchmark": "bench_fault_recovery",
+        "smoke": smoke,
+        "campaign": {
+            "benchmark": "dotproduct:length=16",
+            "agent": "random",
+            "jobs": num_seeds,
+            "max_steps": max_steps,
+            "checkpoint_interval": 1,
+        },
+        "kill": {
+            "after_jobs": kill_after,
+            "exit_code": measured["killed_returncode"],
+            "wall_clock_s": round(measured["killed_s"], 3),
+            "journaled_jobs": measured["journaled_at_kill"],
+        },
+        "resume": {
+            "wall_clock_s": round(measured["resume_s"], 3),
+            "reevaluated_jobs": reevaluated,
+            "reevaluated_fraction": round(reevaluated_fraction, 3),
+        },
+        "uninterrupted_wall_clock_s": round(measured["reference_s"], 3),
+        "bit_identical": identical,
+    }
+    benchmark.extra_info.update({
+        "jobs": num_seeds,
+        "reevaluated_fraction": round(reevaluated_fraction, 3),
+        "bit_identical": identical,
+    })
+
+    print(f"\nFault recovery ({num_seeds} jobs x {max_steps} steps, "
+          f"killed after {kill_after})")
+    print(f"  uninterrupted  {measured['reference_s']:8.2f} s   (baseline)")
+    print(f"  killed run     {measured['killed_s']:8.2f} s   "
+          f"(journaled {measured['journaled_at_kill']}/{num_seeds} jobs)")
+    print(f"  resume         {measured['resume_s']:8.2f} s   "
+          f"(re-evaluated {reevaluated}, {100 * reevaluated_fraction:.0f} %, "
+          f"bit-identical: {identical})")
+
+    # CI/local smoke run lands in a temp file instead.
+    json_path = _JSON_PATH if not smoke else \
+        Path(tempfile.gettempdir()) / "BENCH_fault_recovery.smoke.json"
+    json_path.write_text(json.dumps(report, indent=2) + "\n")

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections import Counter
 from pathlib import Path
@@ -110,6 +111,28 @@ def _benchmark_argument(text: str) -> str:
     return text
 
 
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance flag set shared by run/campaign/sweep/paper."""
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="total attempts a failing job may consume; only "
+                             "retryable failures (lost workers, timeouts, "
+                             "transient store errors) spend extra attempts "
+                             "(default: 1 = no retry)")
+    parser.add_argument("--job-timeout", type=float, default=None, metavar="SECONDS",
+                        dest="job_timeout",
+                        help="per-attempt wall-clock budget; a wedged worker is "
+                             "abandoned and its pool rebuilt (default: unbounded)")
+    parser.add_argument("--checkpoint-interval", type=int, default=0, metavar="N",
+                        help="journal finished jobs every N jobs next to the "
+                             "store for killed-run resume; requires --store "
+                             "(default: 0 = no checkpoint)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the checkpoint journal of an earlier "
+                             "(killed) run instead of starting fresh; requires "
+                             "--store, and implies a checkpoint journal; the "
+                             "resumed report is identical to an uninterrupted run")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command-line definition (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -145,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--explain", action="store_true",
                          help="print the execution plan (what the store answers "
                               "vs. what evaluates) before running")
+    _add_resilience_arguments(run_cmd)
 
     plan_cmd = subparsers.add_parser(
         "plan",
@@ -222,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "1 = per-seed serial jobs; results are identical)")
     campaign.add_argument("--store", default=None, metavar="PATH",
                           help="sqlite file persisting the evaluation store across runs")
+    _add_resilience_arguments(campaign)
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -240,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sqlite file persisting the evaluation store across runs")
     sweep.add_argument("--out", default=None, metavar="PATH",
                        help="write the true fronts as JSON")
+    _add_resilience_arguments(sweep)
 
     paper = subparsers.add_parser(
         "paper",
@@ -267,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "up to date")
     paper.add_argument("--list", action="store_true", dest="list_artifacts",
                        help="list the declared artifacts and exit")
+    _add_resilience_arguments(paper)
 
     lint = subparsers.add_parser(
         "lint",
@@ -290,16 +317,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _write_output(path: Path, text: str, what: str) -> None:
-    """Write a report file, creating missing parent directories.
+    """Write a report file atomically, creating missing parent directories.
 
-    Unwritable destinations (permission problems, a file where a directory
-    is needed, ...) surface as :class:`ConfigurationError` — one line on
-    stderr and exit status 2, never a traceback.
+    The text lands in a same-directory temporary file that is renamed over
+    the destination, so a failure mid-write (a full disk, a kill) never
+    leaves a truncated report behind: the destination either keeps its old
+    contents or receives the new ones whole, and the partial temporary is
+    cleaned up.  Unwritable destinations (permission problems, a file where
+    a directory is needed, ...) surface as :class:`ConfigurationError` —
+    one line on stderr and exit status 2, never a traceback.
     """
+    tmp_path = path.with_name(path.name + ".tmp")
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(text, encoding="utf-8")
+        tmp_path.write_text(text, encoding="utf-8")
+        os.replace(tmp_path, path)
     except OSError as exc:
+        try:
+            tmp_path.unlink()
+        except OSError:
+            pass  # nothing partial was written (or it is already gone)
         raise ConfigurationError(f"cannot write {what} to {path}: {exc}") from exc
 
 
@@ -488,8 +525,36 @@ def _open_existing_store(path_text: str):
     return EvaluationStore(path=store_path)
 
 
+def _resilient_runtime(runtime: RuntimeSpec, args: argparse.Namespace,
+                       store_path: Optional[str] = None) -> RuntimeSpec:
+    """Fold the fault-tolerance flags into a runtime (defaults are a no-op).
+
+    ``store_path`` supplies a fallback store location (``run``'s ``--store``)
+    when the checkpoint knobs need one and the spec document names none.
+    """
+    import dataclasses
+
+    updates = {}
+    if args.retries != 1:
+        updates["retries"] = args.retries
+    if args.job_timeout is not None:
+        updates["job_timeout_s"] = args.job_timeout
+    if args.checkpoint_interval != 0:
+        updates["checkpoint_interval"] = args.checkpoint_interval
+    if args.resume:
+        updates["resume"] = True
+    if not updates:
+        return runtime
+    if ((args.resume or args.checkpoint_interval)
+            and runtime.store_path is None and store_path is not None):
+        updates["store_path"] = store_path
+    return dataclasses.replace(runtime, **updates)
+
+
 def _command_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args.spec, args.overrides)
+    spec = spec.with_runtime(_resilient_runtime(spec.runtime, args,
+                                                store_path=args.store))
     spec_path = Path(args.spec)
 
     if args.store is not None:
@@ -511,7 +576,8 @@ def _command_run(args: argparse.Namespace) -> int:
             print(plan.explain())
             print()
         execution = execute_plan(plan, store=store,
-                                 executor=spec.runtime.build_executor())
+                                 executor=spec.runtime.build_executor(),
+                                 checkpoint=spec.runtime.build_checkpoint())
         report = execution.reports[spec.fingerprint()]
     else:
         report = run_experiment(spec, store=store)
@@ -594,7 +660,11 @@ def _command_campaign(args: argparse.Namespace) -> int:
         seeds=tuple(dict.fromkeys(args.seeds)),
         max_steps=args.steps,
         runtime=RuntimeSpec.from_jobs(args.jobs, store_path=args.store,
-                                      batch_size=args.batch_size),
+                                      batch_size=args.batch_size,
+                                      retries=args.retries,
+                                      job_timeout_s=args.job_timeout,
+                                      checkpoint_interval=args.checkpoint_interval,
+                                      resume=args.resume),
     )
     store = spec.runtime.build_store()
     print(f"Campaign: {_expansion_summary(spec, store)}")
@@ -608,7 +678,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
                          for text in dict.fromkeys(args.benchmarks)),
         seeds=tuple(dict.fromkeys(args.seeds)),
         runtime=RuntimeSpec.from_jobs(args.jobs, store_path=args.store,
-                                      chunk_size=args.chunk_size),
+                                      chunk_size=args.chunk_size,
+                                      retries=args.retries,
+                                      job_timeout_s=args.job_timeout,
+                                      checkpoint_interval=args.checkpoint_interval,
+                                      resume=args.resume),
     )
     store = spec.runtime.build_store()
     print(f"Exhaustive sweep: {_expansion_summary(spec, store)}")
@@ -649,7 +723,11 @@ def _command_paper(args: argparse.Namespace) -> int:
         ) from exc
 
     pipeline = PaperPipeline(artifacts, out_dir=out_dir, jobs=args.jobs,
-                             store_path=args.store, force=args.force)
+                             store_path=args.store, force=args.force,
+                             retries=args.retries,
+                             job_timeout_s=args.job_timeout,
+                             checkpoint_interval=args.checkpoint_interval,
+                             resume=args.resume)
     print(f"Paper artifacts at {scale} scale -> {out_dir}"
           + (f" ({args.jobs} worker processes)" if args.jobs > 1 else ""))
     result = pipeline.run()

@@ -12,14 +12,23 @@ compliant when its body
 * re-raises (``raise`` / ``raise Wrapped(...) from exc``), or
 * captures a traceback string — a call to ``traceback.format_exc()``,
   ``traceback.format_exception(...)`` or ``traceback.print_exc()``,
-  directly or through a same-module helper that does (the rule
-  propagates traceback capture one call hop, so shared helpers like
-  ``_format_job_error`` in the executor count).
+  directly or through a same-module helper chain that does (the rule
+  propagates traceback capture transitively, so shared helpers like the
+  executor's ``_capture_failure`` → ``_format_job_error`` count).
 
 Anything else needs a pragma *with a reason* — this rule sets
 ``requires_reason``, so ``# repro: disable=error-hygiene`` alone is
 itself reported; only
 ``# repro: disable=error-hygiene -- <why this swallow is safe>`` passes.
+
+Modules under a ``runtime`` directory carry one more obligation: their
+broad handlers sit under the retry layer, so a captured failure must also
+be *classified* — a call to
+:func:`repro.runtime.resilience.is_retryable` (directly or through a
+same-module one-hop helper such as the executor's ``_capture_failure``) —
+or re-raise.  A runtime handler that captures a perfect traceback but
+never classifies it silently strips retryable failures of their attempt
+budget, which is exactly the quiet regression this rule exists to catch.
 """
 
 from __future__ import annotations
@@ -40,6 +49,11 @@ _TRACEBACK_CALLS = frozenset({
     "traceback.format_exception",
     "traceback.print_exc",
     "traceback.print_exception",
+})
+
+#: The retryability classification point of the retry layer.
+_CLASSIFY_CALLS = frozenset({
+    "repro.runtime.resilience.is_retryable",
 })
 
 
@@ -71,19 +85,83 @@ def _captures_traceback(module: SourceModule, node: ast.AST) -> bool:
     return False
 
 
-def _traceback_helpers(module: SourceModule) -> FrozenSet[str]:
-    """Names of same-module functions that capture a traceback themselves.
+def _calls_any(node: ast.AST, names: FrozenSet[str]) -> bool:
+    """Whether any call under ``node`` targets one of ``names``."""
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        func = child.func
+        if isinstance(func, ast.Name) and func.id in names:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in names:
+            return True
+    return False
 
-    One hop of propagation: a handler delegating to e.g.
-    ``_format_job_error`` (which calls ``traceback.format_exc()``) is as
-    compliant as one calling ``format_exc`` inline.
+
+def _propagated_helpers(module: SourceModule, seeds: FrozenSet[str]) -> FrozenSet[str]:
+    """Close ``seeds`` over same-module delegation (to a fixpoint).
+
+    A handler delegating to e.g. ``_capture_failure`` — which itself
+    delegates to ``_format_job_error``, which calls
+    ``traceback.format_exc()`` — is as compliant as one calling
+    ``format_exc`` inline: compliance propagates through same-module
+    helper chains, however deep.
     """
-    helpers = set()
+    functions = [node for node in ast.walk(module.tree)
+                 if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    helpers = set(seeds)
+    changed = True
+    while changed:
+        changed = False
+        for node in functions:
+            if node.name not in helpers and _calls_any(node, frozenset(helpers)):
+                helpers.add(node.name)
+                changed = True
+    return frozenset(helpers)
+
+
+def _traceback_helpers(module: SourceModule) -> FrozenSet[str]:
+    """Names of same-module functions that capture a traceback (transitively)."""
+    direct = set()
     for node in ast.walk(module.tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             if _captures_traceback(module, node):
-                helpers.add(node.name)
-    return frozenset(helpers)
+                direct.add(node.name)
+    return _propagated_helpers(module, frozenset(direct))
+
+
+def _classifies_retryability(module: SourceModule, node: ast.AST) -> bool:
+    """Whether any call under ``node`` classifies via ``is_retryable``."""
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        if module.resolve(child.func) in _CLASSIFY_CALLS:
+            return True
+        if isinstance(child.func, ast.Name) and child.func.id == "is_retryable":
+            return True
+        if isinstance(child.func, ast.Attribute) and child.func.attr == "is_retryable":
+            return True
+    return False
+
+
+def _classification_helpers(module: SourceModule) -> FrozenSet[str]:
+    """Same-module functions that classify retryability (transitively).
+
+    The same propagation as :func:`_traceback_helpers`: delegating to the
+    executor's ``_capture_failure`` (which calls ``is_retryable``) counts
+    as classifying inline.
+    """
+    direct = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _classifies_retryability(module, node):
+                direct.add(node.name)
+    return _propagated_helpers(module, frozenset(direct))
+
+
+def _is_runtime_module(module: SourceModule) -> bool:
+    """Whether the module lives under a ``runtime`` package directory."""
+    return "runtime" in module.path.parts[:-1]
 
 
 def _handler_is_compliant(module: SourceModule, handler: ast.ExceptHandler,
@@ -102,6 +180,23 @@ def _handler_is_compliant(module: SourceModule, handler: ast.ExceptHandler,
     return False
 
 
+def _handler_classifies(module: SourceModule, handler: ast.ExceptHandler,
+                        helpers: FrozenSet[str]) -> bool:
+    """Whether a (runtime) handler re-raises or classifies retryability."""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Name) and func.id in helpers) or (
+                        isinstance(func, ast.Attribute) and func.attr in helpers):
+                    return True
+        if _classifies_retryability(module, stmt):
+            return True
+    return False
+
+
 @register_checker
 class ErrorHygieneChecker(Checker):
     name = "error-hygiene"
@@ -111,6 +206,9 @@ class ErrorHygieneChecker(Checker):
 
     def check(self, module: SourceModule) -> Iterator[LintViolation]:
         helpers = _traceback_helpers(module)
+        runtime = _is_runtime_module(module)
+        classify_helpers = (_classification_helpers(module) if runtime
+                            else frozenset())
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Try):
                 continue
@@ -118,11 +216,20 @@ class ErrorHygieneChecker(Checker):
                 caught = _broad_name(module, handler)
                 if caught is None:
                     continue
-                if _handler_is_compliant(module, handler, helpers):
+                if not _handler_is_compliant(module, handler, helpers):
+                    yield module.violation(
+                        self.name, handler,
+                        f"broad handler ({caught}) neither re-raises nor captures "
+                        f"a traceback string (traceback.format_exc()) — failed "
+                        f"work becomes undebuggable in reports",
+                    )
                     continue
-                yield module.violation(
-                    self.name, handler,
-                    f"broad handler ({caught}) neither re-raises nor captures "
-                    f"a traceback string (traceback.format_exc()) — failed "
-                    f"work becomes undebuggable in reports",
-                )
+                if runtime and not _handler_classifies(module, handler,
+                                                       classify_helpers):
+                    yield module.violation(
+                        self.name, handler,
+                        f"broad handler ({caught}) in runtime code neither "
+                        f"re-raises nor classifies the failure as retryable "
+                        f"(is_retryable, or a helper like _capture_failure) — "
+                        f"retryable failures silently lose their attempt budget",
+                    )

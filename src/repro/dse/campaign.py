@@ -117,6 +117,11 @@ class Campaign:
         spread seeds evenly over the executor's workers; ``1`` disables
         batching.  Agents without a vectorized builder (baselines, custom
         factories) always run per seed.
+    checkpoint:
+        Optional :class:`~repro.runtime.checkpoint.CampaignCheckpoint`:
+        outcomes journal as they finish and journaled jobs are restored
+        instead of re-executed, so a killed campaign resumes from its last
+        flush (results are identical either way).
     """
 
     def __init__(self, benchmarks: Mapping[str, Benchmark],
@@ -126,7 +131,8 @@ class Campaign:
                  executor: Optional[Executor] = None,
                  store: Optional[EvaluationStore] = None,
                  store_outputs: bool = False,
-                 batch_size: int = 0) -> None:
+                 batch_size: int = 0,
+                 checkpoint: Optional[object] = None) -> None:
         if not benchmarks:
             raise ExplorationError("a campaign requires at least one benchmark")
         if not seeds:
@@ -149,6 +155,7 @@ class Campaign:
                 f"batch_size must be non-negative (0 = auto), got {batch_size}"
             )
         self._batch_size = int(batch_size)
+        self._checkpoint = checkpoint
 
     @classmethod
     def from_spec(cls, spec) -> "Campaign":
@@ -181,6 +188,7 @@ class Campaign:
             store=spec.runtime.build_store(),
             store_outputs=spec.runtime.store_outputs,
             batch_size=spec.runtime.batch_size,
+            checkpoint=spec.runtime.build_checkpoint(),
         )
 
     @property
@@ -228,7 +236,8 @@ class Campaign:
         complete normally.
         """
         return self._executor.run(self.jobs(), store=self._store,
-                                  store_outputs=self._store_outputs)
+                                  store_outputs=self._store_outputs,
+                                  checkpoint=self._checkpoint)
 
     def run(self) -> List[CampaignEntry]:
         """Run every (benchmark, seed) exploration and return all entries.

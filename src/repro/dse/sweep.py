@@ -184,7 +184,8 @@ def run_sweep(benchmarks: Mapping[str, Benchmark],
               chunk_size: int = 256,
               signed_accuracy: bool = False,
               restrict_to_benchmark_widths: bool = True,
-              compiled: bool = True) -> List[SweepResult]:
+              compiled: bool = True,
+              checkpoint: Optional[object] = None) -> List[SweepResult]:
     """Exhaustively evaluate every design space and extract its true front.
 
     Parameters
@@ -205,6 +206,9 @@ def run_sweep(benchmarks: Mapping[str, Benchmark],
         Evaluator options, forwarded unchanged to every chunk.
     compiled:
         Evaluate on LUT-compiled operator kernels (bit-identical).
+    checkpoint:
+        Optional :class:`~repro.runtime.checkpoint.CampaignCheckpoint`:
+        journaled chunks are restored instead of re-evaluated.
 
     Returns
     -------
@@ -224,7 +228,8 @@ def run_sweep(benchmarks: Mapping[str, Benchmark],
     )
 
     started = time.perf_counter()
-    outcomes: List[JobOutcome] = executor.run(jobs, store=store, store_outputs=False)
+    outcomes: List[JobOutcome] = executor.run(jobs, store=store, store_outputs=False,
+                                              checkpoint=checkpoint)
     wall_clock = time.perf_counter() - started
 
     failures = [outcome for outcome in outcomes if not outcome.ok]

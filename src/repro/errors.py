@@ -74,6 +74,16 @@ class ExplorationError(ReproError):
     """The DSE driver was asked to do something impossible."""
 
 
+class TransientError(ReproError):
+    """A failure worth retrying: the same work may succeed on re-execution.
+
+    Raised for conditions outside the job's control — a locked store
+    backend, an injected fault, a worker lost mid-flight.  The retry layer
+    (:mod:`repro.runtime.resilience`) treats every other
+    :class:`ReproError` as deterministic (re-running cannot help) and only
+    re-dispatches work that failed transiently."""
+
+
 class AgentError(ReproError):
     """An RL agent or baseline explorer was misused."""
 

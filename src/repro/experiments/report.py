@@ -238,3 +238,35 @@ class ExperimentReport:
 
         return json.dumps(self.to_dict(include_timings=include_timings),
                           indent=indent, sort_keys=True)
+
+    def canonical_dict(self) -> Dict[str, object]:
+        """The run-independent core of the report: results, nothing else.
+
+        Two runs of the same spec produce byte-identical
+        :meth:`canonical_json` documents regardless of executor, wall
+        clock, retries, store traffic, or whether one of them was killed
+        and resumed — which is exactly the comparison the resume and chaos
+        tests make.  Everything environmental is excluded: timings, store
+        statistics, provenance, and the spec's (fingerprint-neutral)
+        runtime section; the spec itself is represented by its
+        fingerprint, which covers every result-determining field.
+        """
+        from dataclasses import asdict
+
+        summaries = {
+            agent: {label: asdict(summary) for label, summary in per_label.items()}
+            for agent, per_label in self.summarize().items()
+        }
+        return {
+            "spec_fingerprint": self.spec.fingerprint(),
+            "ok": self.ok,
+            "entries": [entry.payload(include_timing=False)
+                        for entry in self.entries],
+            "summaries": summaries,
+        }
+
+    def canonical_json(self) -> str:
+        """:meth:`canonical_dict` as deterministic (sorted, indented) JSON."""
+        import json
+
+        return json.dumps(self.canonical_dict(), indent=2, sort_keys=True)

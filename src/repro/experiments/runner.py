@@ -30,7 +30,8 @@ def run_experiment(spec: ExperimentSpec,
                    executor: Optional[object] = None,
                    store: Optional[object] = None,
                    on_outcome: Optional[Callable] = None,
-                   planner: Optional[object] = None) -> ExperimentReport:
+                   planner: Optional[object] = None,
+                   checkpoint: Optional[object] = None) -> ExperimentReport:
     """Run one declarative experiment and return its report.
 
     Parameters
@@ -51,6 +52,11 @@ def run_experiment(spec: ExperimentSpec,
         :class:`~repro.planner.planner.QueryPlanner`, or a configured
         instance.  Work the store already materializes replays instead of
         re-evaluating; the report is bit-identical either way.
+    checkpoint:
+        Optional pre-built :class:`~repro.runtime.checkpoint.CampaignCheckpoint`
+        overriding the spec's journal (the spec's own
+        ``checkpoint_interval``/``resume`` knobs build one by default).
+        Restored jobs skip execution; results never depend on it.
     """
     if not isinstance(spec, ExperimentSpec):
         raise ConfigurationError(
@@ -58,6 +64,8 @@ def run_experiment(spec: ExperimentSpec,
         )
     store = store if store is not None else spec.runtime.build_store()
     executor = executor if executor is not None else spec.runtime.build_executor()
+    checkpoint = (checkpoint if checkpoint is not None
+                  else spec.runtime.build_checkpoint())
 
     if planner is not None and planner is not False:
         from repro.planner import QueryPlanner, execute_plan, plan_experiments
@@ -65,7 +73,7 @@ def run_experiment(spec: ExperimentSpec,
         chosen = planner if isinstance(planner, QueryPlanner) else QueryPlanner()
         plan = plan_experiments([spec], store=store, planner=chosen)
         execution = execute_plan(plan, store=store, executor=executor,
-                                 on_outcome=on_outcome)
+                                 on_outcome=on_outcome, checkpoint=checkpoint)
         return execution.reports[spec.fingerprint()]
 
     benchmarks = {bspec.label: bspec.build() for bspec in spec.benchmarks}
@@ -81,6 +89,7 @@ def run_experiment(spec: ExperimentSpec,
             store=store,
             chunk_size=spec.runtime.chunk_size,
             compiled=spec.runtime.compiled,
+            checkpoint=checkpoint,
         )
         entries = [ExperimentEntry.from_sweep(result) for result in sweep_results]
     else:
@@ -98,7 +107,8 @@ def run_experiment(spec: ExperimentSpec,
         )
         outcomes = executor.run(jobs, store=store,
                                 store_outputs=spec.runtime.store_outputs,
-                                on_outcome=on_outcome)
+                                on_outcome=on_outcome,
+                                checkpoint=checkpoint)
         entries = [
             ExperimentEntry.from_outcome(outcome)
             for outcome in flatten_outcomes(outcomes)

@@ -403,6 +403,18 @@ class RuntimeSpec:
     #: batching multiplies with process parallelism; ``1`` disables
     #: batching (the historical per-seed jobs).
     batch_size: int = 0
+    #: Total executions a failing job may consume (1 = run once, capture
+    #: the failure).  Only *retryable* failures spend extra attempts — see
+    #: :func:`repro.runtime.resilience.is_retryable`.
+    retries: int = 1
+    #: Per-attempt wall-clock budget in seconds (null = unbounded).
+    job_timeout_s: Optional[float] = None
+    #: Checkpointed resume: finished jobs journaled every this-many jobs
+    #: (0 disables the journal entirely; requires ``store_path``).
+    checkpoint_interval: int = 0
+    #: Resume from the checkpoint journal instead of clearing it — a fresh
+    #: run (the default) discards any journal left by an earlier run.
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_KINDS:
@@ -444,17 +456,51 @@ class RuntimeSpec:
                 f"runtime batch_size must be a non-negative integer "
                 f"(0 = auto), got {self.batch_size!r}"
             )
+        if (not isinstance(self.retries, int) or isinstance(self.retries, bool)
+                or self.retries < 1):
+            raise ConfigurationError(
+                f"runtime retries must be a positive integer (total attempts; "
+                f"1 = no retry), got {self.retries!r}"
+            )
+        if self.job_timeout_s is not None:
+            if (not isinstance(self.job_timeout_s, (int, float))
+                    or isinstance(self.job_timeout_s, bool)
+                    or self.job_timeout_s <= 0):
+                raise ConfigurationError(
+                    f"runtime job_timeout_s must be a positive number or null, "
+                    f"got {self.job_timeout_s!r}"
+                )
+            object.__setattr__(self, "job_timeout_s", float(self.job_timeout_s))
+        if (not isinstance(self.checkpoint_interval, int)
+                or isinstance(self.checkpoint_interval, bool)
+                or self.checkpoint_interval < 0):
+            raise ConfigurationError(
+                f"runtime checkpoint_interval must be a non-negative integer "
+                f"(0 = no checkpoint), got {self.checkpoint_interval!r}"
+            )
+        if not isinstance(self.resume, bool):
+            raise ConfigurationError(
+                f"runtime resume must be a boolean, got {self.resume!r}"
+            )
+        if (self.resume or self.checkpoint_interval) and self.store_path is None:
+            raise ConfigurationError(
+                "checkpointed resume needs a persistent store: set store_path "
+                "when enabling resume or checkpoint_interval"
+            )
 
     @classmethod
     def from_jobs(cls, jobs: int, store_path: Optional[str] = None,
-                  chunk_size: int = 256, batch_size: int = 0) -> "RuntimeSpec":
+                  chunk_size: int = 256, batch_size: int = 0,
+                  retries: int = 1, job_timeout_s: Optional[float] = None,
+                  checkpoint_interval: int = 0,
+                  resume: bool = False) -> "RuntimeSpec":
         """The CLI convention: ``--jobs N`` means serial when N <= 1."""
         jobs = int(jobs)
-        if jobs <= 1:
-            return cls(executor="serial", jobs=1, store_path=store_path,
-                       chunk_size=chunk_size, batch_size=batch_size)
-        return cls(executor="process", jobs=jobs, store_path=store_path,
-                   chunk_size=chunk_size, batch_size=batch_size)
+        executor = "serial" if jobs <= 1 else "process"
+        return cls(executor=executor, jobs=max(jobs, 1), store_path=store_path,
+                   chunk_size=chunk_size, batch_size=batch_size,
+                   retries=retries, job_timeout_s=job_timeout_s,
+                   checkpoint_interval=checkpoint_interval, resume=resume)
 
     def effective_batch_size(self, num_seeds: int) -> int:
         """Resolve the batching policy for a seed list of the given length.
@@ -470,13 +516,45 @@ class RuntimeSpec:
             return 1
         return -(-num_seeds // self.jobs)
 
+    def retry_policy(self):
+        """The :class:`~repro.runtime.resilience.RetryPolicy` this spec asks for."""
+        from repro.runtime.resilience import RetryPolicy
+
+        return RetryPolicy(max_attempts=self.retries,
+                           job_timeout_s=self.job_timeout_s)
+
+    @property
+    def checkpoint_path(self) -> Optional[str]:
+        """Journal location (next to the store), or ``None`` when disabled."""
+        if self.store_path is None or not (self.checkpoint_interval or self.resume):
+            return None
+        return self.store_path + ".checkpoint.jsonl"
+
+    def build_checkpoint(self):
+        """Instantiate the configured checkpoint journal (or ``None``).
+
+        A fresh run (``resume=False``) clears any journal left behind by an
+        earlier run before returning it — resume semantics are explicit,
+        never accidental.
+        """
+        path = self.checkpoint_path
+        if path is None:
+            return None
+        from repro.runtime.checkpoint import CampaignCheckpoint
+
+        checkpoint = CampaignCheckpoint(path, flush_interval=max(
+            self.checkpoint_interval, 1))
+        if not self.resume:
+            checkpoint.clear()
+        return checkpoint
+
     def build_executor(self):
         """Instantiate the configured :class:`~repro.runtime.executor.Executor`."""
         from repro.runtime.executor import ProcessExecutor, SerialExecutor
 
         if self.executor == "serial":
-            return SerialExecutor()
-        return ProcessExecutor(n_jobs=self.jobs)
+            return SerialExecutor(retry_policy=self.retry_policy())
+        return ProcessExecutor(n_jobs=self.jobs, retry_policy=self.retry_policy())
 
     def build_store(self):
         """Instantiate the configured :class:`~repro.runtime.store.EvaluationStore`."""
@@ -493,13 +571,18 @@ class RuntimeSpec:
             "store_outputs": self.store_outputs,
             "compiled": self.compiled,
             "batch_size": self.batch_size,
+            "retries": self.retries,
+            "job_timeout_s": self.job_timeout_s,
+            "checkpoint_interval": self.checkpoint_interval,
+            "resume": self.resume,
         }
 
     @classmethod
     def from_dict(cls, payload: object) -> "RuntimeSpec":
         payload = _require_mapping(payload, "runtime spec")
         allowed = ("executor", "jobs", "store_path", "chunk_size", "store_outputs",
-                   "compiled", "batch_size")
+                   "compiled", "batch_size", "retries", "job_timeout_s",
+                   "checkpoint_interval", "resume")
         _check_keys(payload, allowed, "runtime spec")
         return cls(**payload)
 

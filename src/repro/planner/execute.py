@@ -100,7 +100,8 @@ def _build_job(unit: PlanUnit, resolver: BenchmarkResolver,
 
 def _run_unit_node(node, store, executor, resolver: BenchmarkResolver,
                    outcomes: Dict[str, object],
-                   on_outcome: Optional[Callable]) -> None:
+                   on_outcome: Optional[Callable],
+                   checkpoint: Optional[object] = None) -> None:
     """Execute one EvaluateJobs/ReplayFromStore node; record per-unit outcomes."""
     # ``store_outputs`` is a per-run flag on the executors, so units that
     # need raw outputs retained run in their own call; order within each
@@ -112,7 +113,7 @@ def _run_unit_node(node, store, executor, resolver: BenchmarkResolver,
     for store_outputs, members in groups.items():
         jobs = [_build_job(unit, resolver) for _, unit in members]
         results = executor.run(jobs, store=store, store_outputs=store_outputs,
-                               on_outcome=on_outcome)
+                               on_outcome=on_outcome, checkpoint=checkpoint)
         for (fingerprint, _), outcome in zip(members, results):
             outcomes[fingerprint] = outcome
 
@@ -223,7 +224,8 @@ def _merge_report(node: MergeReports, plan: ExperimentPlan, store, executor,
 def execute_plan(plan: ExperimentPlan,
                  store: Optional[object] = None,
                  executor: Optional[object] = None,
-                 on_outcome: Optional[Callable] = None) -> PlanExecution:
+                 on_outcome: Optional[Callable] = None,
+                 checkpoint: Optional[object] = None) -> PlanExecution:
     """Execute a plan and return per-spec reports plus reuse counters.
 
     Parameters
@@ -239,6 +241,10 @@ def execute_plan(plan: ExperimentPlan,
     on_outcome:
         Optional progress callback for evaluated exploration outcomes,
         matching :func:`run_experiment`'s parameter.
+    checkpoint:
+        Optional :class:`~repro.runtime.checkpoint.CampaignCheckpoint`
+        applied to :class:`EvaluateJobs` nodes (the paid work); replay
+        nodes skip it — re-running them is store lookups, not compute.
     """
     if not isinstance(plan, ExperimentPlan):
         raise ConfigurationError(
@@ -260,7 +266,8 @@ def execute_plan(plan: ExperimentPlan,
             forward = on_outcome if any(
                 isinstance(unit, ExplorationUnit) for unit in node.units
             ) else None
-            _run_unit_node(node, store, executor, resolver, outcomes, forward)
+            _run_unit_node(node, store, executor, resolver, outcomes, forward,
+                           checkpoint=checkpoint)
         elif isinstance(node, ReplayFromStore):
             _run_unit_node(node, store, replayer, resolver, outcomes, None)
         elif isinstance(node, MergeReports):

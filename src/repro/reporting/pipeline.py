@@ -127,6 +127,15 @@ class PaperPipeline:
     compiled:
         Evaluate on LUT-compiled operator kernels (bit-identical; disable
         only to debug the analytic path).
+    retries / job_timeout_s:
+        Fault tolerance for the underlying campaigns — total attempts a
+        failing job may consume and the per-attempt wall-clock budget (see
+        :class:`~repro.runtime.resilience.RetryPolicy`).
+    checkpoint_interval / resume:
+        Checkpointed resume for the underlying campaigns (requires
+        ``store_path``): finished jobs journal every ``checkpoint_interval``
+        jobs, and ``resume=True`` restores them after a killed run instead
+        of re-executing (the published artifacts are identical either way).
     """
 
     artifacts: Sequence[ArtifactSpec]
@@ -135,6 +144,10 @@ class PaperPipeline:
     store_path: Optional[str] = None
     force: bool = False
     compiled: bool = True
+    retries: int = 1
+    job_timeout_s: Optional[float] = None
+    checkpoint_interval: int = 0
+    resume: bool = False
     _runtime: RuntimeSpec = field(init=False, repr=False)
 
     MANIFEST_NAME = "manifest.json"
@@ -155,12 +168,16 @@ class PaperPipeline:
             raise ConfigurationError(f"duplicate artifact name(s) {duplicates}")
         self.out_dir = Path(self.out_dir)
         jobs = int(self.jobs)
-        if jobs <= 1:
-            self._runtime = RuntimeSpec(executor="serial", jobs=1,
-                                        compiled=self.compiled)
-        else:
-            self._runtime = RuntimeSpec(executor="process", jobs=jobs,
-                                        compiled=self.compiled)
+        self._runtime = RuntimeSpec(
+            executor="serial" if jobs <= 1 else "process",
+            jobs=max(jobs, 1),
+            store_path=self.store_path,
+            compiled=self.compiled,
+            retries=self.retries,
+            job_timeout_s=self.job_timeout_s,
+            checkpoint_interval=self.checkpoint_interval,
+            resume=self.resume,
+        )
 
     # ------------------------------------------------------------- manifest
 
@@ -300,11 +317,13 @@ class PaperPipeline:
 
         store = EvaluationStore(path=self.store_path)
         executor = self._runtime.build_executor()
+        checkpoint = self._runtime.build_checkpoint()
 
         specs = [needed[fingerprint].with_runtime(self._runtime)
                  for fingerprint in sorted(needed)]
         plan = plan_experiments(specs, store=store)
-        execution = execute_plan(plan, store=store, executor=executor)
+        execution = execute_plan(plan, store=store, executor=executor,
+                                 checkpoint=checkpoint)
 
         reports: Dict[str, object] = {}
         for fingerprint in sorted(needed):

@@ -13,12 +13,21 @@ This package turns a sweep definition into throughput:
 * :mod:`~repro.runtime.store` — :class:`EvaluationStore`, a process-safe,
   optionally disk-backed cache of design-point evaluations keyed by
   content fingerprints, so sibling runs (other seeds, other agents, later
-  campaigns) start warm instead of re-measuring the same design points.
+  campaigns) start warm instead of re-measuring the same design points;
+* :mod:`~repro.runtime.resilience` — :class:`RetryPolicy` (attempt
+  budgets, per-job timeouts, deterministic backoff) and the retryability
+  classification both executors share;
+* :mod:`~repro.runtime.checkpoint` — :class:`CampaignCheckpoint`, the
+  journal that lets a killed campaign resume without re-running finished
+  jobs;
+* :mod:`~repro.runtime.faults` — the deterministic, env-guarded fault
+  injection harness the fault-tolerance tests and the chaos CI job drive.
 
 Both executors produce identical results for the same job list; the store
 only ever returns records bit-identical to a fresh evaluation.
 """
 
+from repro.runtime.checkpoint import CampaignCheckpoint
 from repro.runtime.executor import (
     Executor,
     JobOutcome,
@@ -26,6 +35,7 @@ from repro.runtime.executor import (
     SerialExecutor,
     flatten_outcomes,
 )
+from repro.runtime.faults import FAULT_PLAN_ENV, FaultPlan, FaultRule, inject_faults
 from repro.runtime.jobs import (
     AgentSpec,
     BatchedExplorationJob,
@@ -35,6 +45,7 @@ from repro.runtime.jobs import (
     expand_jobs,
     expand_sweep_jobs,
 )
+from repro.runtime.resilience import RetryPolicy, is_retryable, job_fingerprint
 
 
 def __getattr__(name: str):
@@ -74,4 +85,12 @@ __all__ = [
     "StoreStats",
     "benchmark_fingerprint",
     "catalog_fingerprint",
+    "RetryPolicy",
+    "is_retryable",
+    "job_fingerprint",
+    "CampaignCheckpoint",
+    "FaultPlan",
+    "FaultRule",
+    "inject_faults",
+    "FAULT_PLAN_ENV",
 ]

@@ -14,10 +14,35 @@ Failures are captured per job: a crashing exploration (or an unpicklable
 job) yields a :class:`JobOutcome` carrying the traceback instead of killing
 the sweep, so a 4 x 3 campaign with one bad configuration still returns the
 other eleven results.
+
+Both executors are additionally *fault-tolerant* (see
+:mod:`repro.runtime.resilience` for the policy and
+:mod:`repro.runtime.checkpoint` for resume):
+
+* a :class:`~repro.runtime.resilience.RetryPolicy` grants retryable
+  failures extra attempts with deterministic backoff, and bounds each
+  attempt's wall-clock (preemptively under the process executor, which
+  abandons the future and rebuilds the pool around the wedged worker;
+  post-hoc under the serial executor, which can only notice *after* the
+  job returns — it then discards the late attempt and classifies it as
+  timed out, so both executors agree that an over-budget job is a
+  ``timed_out`` outcome);
+* the process executor survives worker death: a ``BrokenProcessPool``
+  salvages every already-collected outcome, rebuilds the pool, and
+  re-dispatches only the unfinished jobs; after ``max_pool_rebuilds``
+  rebuilds it degrades to in-process serial execution for the remaining
+  tail — logged, never silent;
+* a :class:`~repro.runtime.checkpoint.CampaignCheckpoint` restores
+  journaled jobs instead of executing them and records outcomes as they
+  finalize, so a killed run resumes from its last flush;
+* ``KeyboardInterrupt`` mid-collection flushes completed work into the
+  store (and journal) and shuts the pool down (``cancel_futures=True``)
+  before re-raising — Ctrl-C loses the wave in flight, not the campaign.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import pickle
@@ -25,15 +50,20 @@ import time
 import traceback
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.runtime.jobs import BatchedExplorationJob, ExplorationJob, execute_job
+from repro.runtime.resilience import RetryPolicy, is_retryable, job_fingerprint
 from repro.runtime.store import EvaluationKey, EvaluationStore, StoreStats
 
 __all__ = ["JobOutcome", "Executor", "SerialExecutor", "ProcessExecutor",
            "flatten_outcomes"]
+
+logger = logging.getLogger(__name__)
 
 #: Called after every finished job with its outcome (progress reporting).
 OutcomeCallback = Callable[["JobOutcome"], None]
@@ -52,6 +82,25 @@ def _format_job_error(job: ExplorationJob) -> str:
     return f"job {identity} failed:\n{traceback.format_exc()}"
 
 
+def _capture_failure(job: ExplorationJob,
+                     error: BaseException) -> Tuple[str, bool]:
+    """Capture one failure: (full traceback string, is it retryable?).
+
+    The single helper every broad handler in this module funnels through,
+    so a captured failure always carries its complete diagnostic *and* a
+    retryability classification for the retry layer.
+    """
+    return _format_job_error(job), is_retryable(error)
+
+
+def _timeout_error(job: ExplorationJob, timeout_s: float, attempts: int) -> str:
+    """The error string of an attempt that exceeded its wall-clock budget."""
+    describe = getattr(job, "describe", None)
+    identity = describe() if callable(describe) else repr(job)
+    return (f"job {identity} timed out: attempt {attempts} exceeded the "
+            f"per-job timeout of {timeout_s:g} s")
+
+
 @dataclass
 class JobOutcome:
     """Result (or captured failure) of one executed job."""
@@ -60,10 +109,19 @@ class JobOutcome:
     result: Optional[object] = None  # ExplorationResult when ok
     error: Optional[str] = None
     duration_s: float = 0.0
+    #: Executions this outcome consumed (> 1 when the retry layer stepped in).
+    attempts: int = 1
+    #: Whether the final attempt exceeded the policy's per-job timeout.
+    timed_out: bool = False
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def retried(self) -> bool:
+        """Whether the job needed more than one attempt."""
+        return self.attempts > 1
 
 
 def flatten_outcomes(outcomes: Sequence[JobOutcome]) -> List[JobOutcome]:
@@ -75,7 +133,8 @@ def flatten_outcomes(outcomes: Sequence[JobOutcome]) -> List[JobOutcome]:
     this splits every batched outcome into the outcomes its serial
     equivalents would have produced.  The batch's wall-clock is split
     evenly across its seeds — the sum is preserved, the attribution is
-    nominal.  Failed batches propagate their error to every seed.
+    nominal.  Failed batches propagate their error to every seed, and
+    retry/timeout accounting carries over to every sub-outcome.
     Non-batched outcomes pass through unchanged.
     """
     flat: List[JobOutcome] = []
@@ -87,12 +146,33 @@ def flatten_outcomes(outcomes: Sequence[JobOutcome]) -> List[JobOutcome]:
         share = outcome.duration_s / len(sub_jobs)
         if outcome.ok:
             for sub_job, result in zip(sub_jobs, outcome.result):
-                flat.append(JobOutcome(job=sub_job, result=result, duration_s=share))
+                flat.append(JobOutcome(job=sub_job, result=result,
+                                       duration_s=share,
+                                       attempts=outcome.attempts,
+                                       timed_out=outcome.timed_out))
         else:
             for sub_job in sub_jobs:
                 flat.append(JobOutcome(job=sub_job, error=outcome.error,
-                                       duration_s=share))
+                                       duration_s=share,
+                                       attempts=outcome.attempts,
+                                       timed_out=outcome.timed_out))
     return flat
+
+
+def _restore_from_checkpoint(checkpoint, job) -> Optional[JobOutcome]:
+    """The journaled outcome of ``job``, or ``None`` (job must execute).
+
+    Restored outcomes carry no duration (the work happened in an earlier
+    run) and count one attempt; entry payloads that fail to decode make
+    the checkpoint fall back to ``None`` — see
+    :meth:`~repro.runtime.checkpoint.CampaignCheckpoint.result_for`.
+    """
+    if checkpoint is None:
+        return None
+    result = checkpoint.result_for(job)
+    if result is None:
+        return None
+    return JobOutcome(job=job, result=result)
 
 
 class Executor(ABC):
@@ -102,57 +182,125 @@ class Executor(ABC):
     def run(self, jobs: Sequence[ExplorationJob],
             store: Optional[EvaluationStore] = None,
             store_outputs: bool = False,
-            on_outcome: Optional[OutcomeCallback] = None) -> List[JobOutcome]:
-        """Execute every job; outcomes are returned in job order."""
+            on_outcome: Optional[OutcomeCallback] = None,
+            checkpoint: Optional[object] = None) -> List[JobOutcome]:
+        """Execute every job; outcomes are returned in job order.
+
+        ``checkpoint`` optionally names a
+        :class:`~repro.runtime.checkpoint.CampaignCheckpoint`: journaled
+        jobs are restored instead of executed, finished jobs are recorded,
+        and the journal is flushed when the run completes (or is
+        interrupted).
+        """
 
 
 class SerialExecutor(Executor):
-    """Runs jobs inline, one at a time (the default executor)."""
+    """Runs jobs inline, one at a time (the default executor).
+
+    ``retry_policy`` grants retryable failures extra attempts (with
+    deterministic backoff) and bounds each attempt's wall-clock
+    *cooperatively*: inline execution cannot be preempted, so the budget
+    is checked after the attempt returns — a late attempt is discarded
+    and classified ``timed_out`` exactly as the process executor would
+    classify its abandoned future, keeping outcome semantics aligned
+    across executors.
+    """
+
+    def __init__(self, retry_policy: Optional[RetryPolicy] = None) -> None:
+        if retry_policy is not None and not isinstance(retry_policy, RetryPolicy):
+            raise ConfigurationError(
+                f"retry_policy must be a RetryPolicy, got {type(retry_policy).__name__}"
+            )
+        self._retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._retry_policy
 
     def run(self, jobs: Sequence[ExplorationJob],
             store: Optional[EvaluationStore] = None,
             store_outputs: bool = False,
-            on_outcome: Optional[OutcomeCallback] = None) -> List[JobOutcome]:
+            on_outcome: Optional[OutcomeCallback] = None,
+            checkpoint: Optional[object] = None) -> List[JobOutcome]:
         store = store if store is not None else EvaluationStore()
         outcomes: List[JobOutcome] = []
         for job in jobs:
-            started = time.perf_counter()
-            try:
-                result = execute_job(job, store=store, store_outputs=store_outputs)
-                outcome = JobOutcome(job=job, result=result,
-                                     duration_s=time.perf_counter() - started)
-            except Exception:
-                outcome = JobOutcome(job=job, error=_format_job_error(job),
-                                     duration_s=time.perf_counter() - started)
+            outcome = _restore_from_checkpoint(checkpoint, job)
+            if outcome is None:
+                outcome = self._run_one(job, store, store_outputs)
+                if checkpoint is not None:
+                    checkpoint.record(outcome, store)
             outcomes.append(outcome)
             if on_outcome is not None:
                 on_outcome(outcome)
+        if checkpoint is not None:
+            checkpoint.flush(store)
         return outcomes
+
+    def _run_one(self, job: ExplorationJob, store: EvaluationStore,
+                 store_outputs: bool) -> JobOutcome:
+        """Execute one job under the retry policy; always returns an outcome."""
+        policy = self._retry_policy
+        attempts = 0
+        while True:
+            attempts += 1
+            started = time.perf_counter()
+            try:
+                result = execute_job(job, store=store, store_outputs=store_outputs)
+            except Exception as exc:
+                duration = time.perf_counter() - started
+                error, retryable = _capture_failure(job, exc)
+                if retryable and attempts < policy.max_attempts:
+                    time.sleep(policy.backoff_s(job_fingerprint(job), attempts))
+                    continue
+                return JobOutcome(job=job, error=error, duration_s=duration,
+                                  attempts=attempts)
+            duration = time.perf_counter() - started
+            if policy.job_timeout_s is not None and duration > policy.job_timeout_s:
+                # Cooperative timeout: the attempt already ran to completion,
+                # but it blew its budget — discard the late result so serial
+                # and process runs classify the same over-budget job the
+                # same way (timeouts are retryable: the delay may have been
+                # transient, e.g. a cold cache or an injected fault).
+                if attempts < policy.max_attempts:
+                    time.sleep(policy.backoff_s(job_fingerprint(job), attempts))
+                    continue
+                return JobOutcome(
+                    job=job,
+                    error=_timeout_error(job, policy.job_timeout_s, attempts),
+                    duration_s=duration, attempts=attempts, timed_out=True,
+                )
+            return JobOutcome(job=job, result=result, duration_s=duration,
+                              attempts=attempts)
 
 
 def _run_job_in_worker(job: ExplorationJob,
                        snapshot_blob: bytes,
                        store_outputs: bool) -> Tuple[Optional[object], Optional[str],
+                                                     bool,
                                                      Dict[EvaluationKey, object],
                                                      "StoreStats"]:
     """Worker entry point: run one job against a private store copy.
 
     The snapshot arrives pre-pickled (``snapshot_blob``) so the parent
     serialises it once per wave instead of once per submitted job.  Returns
-    ``(result, error, new_entries, stats)`` — only records absent from the
-    incoming snapshot travel back, keeping the merge payload proportional
-    to the new work actually done.
+    ``(result, error, retryable, new_entries, stats)`` — only records
+    absent from the incoming snapshot travel back, keeping the merge
+    payload proportional to the new work actually done; ``retryable``
+    classifies a captured failure for the parent's retry layer (the
+    exception object itself cannot cross the process boundary as data).
     """
     snapshot: Dict[EvaluationKey, object] = pickle.loads(snapshot_blob)
     store = EvaluationStore(records=snapshot)
     try:
         result = execute_job(job, store=store, store_outputs=store_outputs)
-    except Exception:
-        return None, _format_job_error(job), {}, store.stats
+    except Exception as exc:
+        error, retryable = _capture_failure(job, exc)
+        return None, error, retryable, {}, store.stats
     new_entries = {
         key: record for key, record in store.snapshot().items() if key not in snapshot
     }
-    return result, None, new_entries, store.stats
+    return result, None, False, new_entries, store.stats
 
 
 class ProcessExecutor(Executor):
@@ -163,6 +311,15 @@ class ProcessExecutor(Executor):
     earlier wave warm-start the later ones (seeds and agents re-visiting the
     same design points never pay for them twice).
 
+    Crash recovery: a worker dying mid-wave (``BrokenProcessPool``) or a
+    future exceeding the retry policy's per-job timeout never sinks the
+    run — completed outcomes are salvaged, the pool is rebuilt, and only
+    the unfinished jobs re-dispatch.  After ``max_pool_rebuilds`` rebuilds
+    the executor stops trusting process isolation and runs the remaining
+    jobs serially in-process (logged at WARNING; a job that keeps killing
+    its host will then take the parent down — at that point the crash is
+    the diagnostic).
+
     Parameters
     ----------
     n_jobs:
@@ -171,9 +328,18 @@ class ProcessExecutor(Executor):
         Multiprocessing start method (``"fork"``, ``"spawn"``,
         ``"forkserver"``); defaults to ``"fork"`` where available (cheap
         workers on POSIX) and ``"spawn"`` elsewhere.
+    retry_policy:
+        Attempt budget, per-job timeout and backoff shared with the
+        serial path (see :class:`~repro.runtime.resilience.RetryPolicy`).
+    max_pool_rebuilds:
+        Pool rebuilds (worker crashes / timed-out workers) tolerated
+        before degrading to serial execution.
     """
 
-    def __init__(self, n_jobs: Optional[int] = None, mp_context: Optional[str] = None) -> None:
+    def __init__(self, n_jobs: Optional[int] = None,
+                 mp_context: Optional[str] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 max_pool_rebuilds: int = 3) -> None:
         if n_jobs is not None and n_jobs <= 0:
             raise ConfigurationError(f"n_jobs must be positive, got {n_jobs}")
         self._n_jobs = int(n_jobs) if n_jobs is not None else (os.cpu_count() or 1)
@@ -183,10 +349,26 @@ class ProcessExecutor(Executor):
                 f"available: {multiprocessing.get_all_start_methods()}"
             )
         self._mp_context = mp_context
+        if retry_policy is not None and not isinstance(retry_policy, RetryPolicy):
+            raise ConfigurationError(
+                f"retry_policy must be a RetryPolicy, got {type(retry_policy).__name__}"
+            )
+        self._retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        if (not isinstance(max_pool_rebuilds, int)
+                or isinstance(max_pool_rebuilds, bool) or max_pool_rebuilds < 0):
+            raise ConfigurationError(
+                f"max_pool_rebuilds must be a non-negative integer, "
+                f"got {max_pool_rebuilds!r}"
+            )
+        self._max_pool_rebuilds = max_pool_rebuilds
 
     @property
     def n_jobs(self) -> int:
         return self._n_jobs
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._retry_policy
 
     def _context(self) -> multiprocessing.context.BaseContext:
         method = self._mp_context
@@ -197,54 +379,183 @@ class ProcessExecutor(Executor):
     def run(self, jobs: Sequence[ExplorationJob],
             store: Optional[EvaluationStore] = None,
             store_outputs: bool = False,
-            on_outcome: Optional[OutcomeCallback] = None) -> List[JobOutcome]:
+            on_outcome: Optional[OutcomeCallback] = None,
+            checkpoint: Optional[object] = None) -> List[JobOutcome]:
         jobs = list(jobs)
         if not jobs:
             return []
         store = store if store is not None else EvaluationStore()
         if self._n_jobs == 1 or len(jobs) == 1:
-            return SerialExecutor().run(jobs, store=store, store_outputs=store_outputs,
-                                        on_outcome=on_outcome)
+            return SerialExecutor(retry_policy=self._retry_policy).run(
+                jobs, store=store, store_outputs=store_outputs,
+                on_outcome=on_outcome, checkpoint=checkpoint)
 
-        outcomes: List[JobOutcome] = []
+        policy = self._retry_policy
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+
+        def finalize(index: int, outcome: JobOutcome) -> None:
+            outcomes[index] = outcome
+            if checkpoint is not None:
+                checkpoint.record(outcome, store)
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+        #: Unfinished work as (job index, failed attempts so far).
+        pending: List[Tuple[int, int]] = []
+        for index, job in enumerate(jobs):
+            restored = _restore_from_checkpoint(checkpoint, job)
+            if restored is not None:
+                outcomes[index] = restored
+                if on_outcome is not None:
+                    on_outcome(restored)
+            else:
+                pending.append((index, 0))
+
         workers = min(self._n_jobs, len(jobs))
-        with ProcessPoolExecutor(max_workers=workers, mp_context=self._context()) as pool:
-            for wave_start in range(0, len(jobs), workers):
-                wave = jobs[wave_start:wave_start + workers]
+        pool: Optional[ProcessPoolExecutor] = None
+        rebuilds = 0
+        try:
+            while pending:
+                if rebuilds > self._max_pool_rebuilds:
+                    # Degrade to serial: process isolation has failed
+                    # max_pool_rebuilds + 1 times; finish the tail inline.
+                    logger.warning(
+                        "worker pool failed %d times (limit %d); degrading to "
+                        "serial execution for the remaining %d job(s)",
+                        rebuilds, self._max_pool_rebuilds, len(pending),
+                    )
+                    serial = SerialExecutor(retry_policy=policy)
+                    remaining = [jobs[index] for index, _ in pending]
+                    serial_outcomes = serial.run(
+                        remaining, store=store, store_outputs=store_outputs,
+                        on_outcome=on_outcome, checkpoint=checkpoint)
+                    for (index, _), outcome in zip(pending, serial_outcomes):
+                        outcomes[index] = outcome
+                    pending = []
+                    break
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=workers,
+                                               mp_context=self._context())
+                wave, rest = pending[:workers], pending[workers:]
                 snapshot_blob = pickle.dumps(store.snapshot(),
                                              protocol=pickle.HIGHEST_PROTOCOL)
                 started = time.perf_counter()
                 futures = [
-                    self._submit(pool, job, snapshot_blob, store_outputs) for job in wave
+                    self._submit(pool, jobs[index], snapshot_blob, store_outputs)
+                    for index, _ in wave
                 ]
-                for job, future in zip(wave, futures):
-                    outcome = self._collect(job, future, store, started)
-                    outcomes.append(outcome)
-                    if on_outcome is not None:
-                        on_outcome(outcome)
-        return outcomes
+                deadline = (None if policy.job_timeout_s is None
+                            else started + policy.job_timeout_s)
+                pool_broken = False
+                wave_timed_out = False
+                retry_wave: List[Tuple[int, int]] = []
+                max_backoff = 0.0
+
+                for (index, failed_attempts), future in zip(wave, futures):
+                    job = jobs[index]
+                    attempts = failed_attempts + 1
+                    if isinstance(future, str):  # submission failed (see _submit)
+                        finalize(index, JobOutcome(job=job, error=future,
+                                                   attempts=attempts))
+                        continue
+                    timeout = (None if deadline is None
+                               else max(deadline - time.perf_counter(), 0.0))
+                    try:
+                        result, error, retryable, new_entries, stats = \
+                            future.result(timeout=timeout)
+                    except FuturesTimeoutError:
+                        # The worker is wedged past the per-job budget:
+                        # abandon the future and rebuild the pool after the
+                        # wave (the worker itself cannot be preempted).
+                        wave_timed_out = True
+                        future.cancel()
+                        duration = time.perf_counter() - started
+                        if attempts < policy.max_attempts:
+                            retry_wave.append((index, attempts))
+                            max_backoff = max(max_backoff, policy.backoff_s(
+                                job_fingerprint(job), attempts))
+                        else:
+                            finalize(index, JobOutcome(
+                                job=job,
+                                error=_timeout_error(job, policy.job_timeout_s,
+                                                     attempts),
+                                duration_s=duration, attempts=attempts,
+                                timed_out=True,
+                            ))
+                        continue
+                    except BrokenProcessPool:
+                        # A worker died; every future of this wave that had
+                        # not completed raises this.  The job did not fail —
+                        # the pool did — so it re-dispatches without
+                        # consuming a retry attempt (bounded by
+                        # max_pool_rebuilds, not max_attempts).
+                        pool_broken = True
+                        retry_wave.append((index, failed_attempts))
+                        continue
+                    except Exception as exc:
+                        # Pickling of arguments/results failed in transit;
+                        # future.result() re-raises with the remote traceback
+                        # chained in, so the capture keeps both sides.
+                        duration = time.perf_counter() - started
+                        error, retryable = _capture_failure(job, exc)
+                        if retryable and attempts < policy.max_attempts:
+                            retry_wave.append((index, attempts))
+                            max_backoff = max(max_backoff, policy.backoff_s(
+                                job_fingerprint(job), attempts))
+                        else:
+                            finalize(index, JobOutcome(job=job, error=error,
+                                                       duration_s=duration,
+                                                       attempts=attempts))
+                        continue
+                    store.merge(new_entries)
+                    store.record_external_lookups(stats.hits, stats.misses,
+                                                  stats.upgrades)
+                    duration = time.perf_counter() - started
+                    if (error is not None and retryable
+                            and attempts < policy.max_attempts):
+                        retry_wave.append((index, attempts))
+                        max_backoff = max(max_backoff, policy.backoff_s(
+                            job_fingerprint(job), attempts))
+                        continue
+                    finalize(index, JobOutcome(job=job, result=result, error=error,
+                                               duration_s=duration,
+                                               attempts=attempts))
+
+                pending = rest + retry_wave
+                if pool_broken or wave_timed_out:
+                    rebuilds += 1
+                    logger.warning(
+                        "worker pool %s; rebuilding (%d/%d tolerated) with "
+                        "%d job(s) unfinished",
+                        "lost a worker" if pool_broken else "has a timed-out worker",
+                        rebuilds, self._max_pool_rebuilds, len(pending),
+                    )
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+                if max_backoff > 0.0 and pending:
+                    time.sleep(max_backoff)
+        except KeyboardInterrupt:
+            # Flush completed work before re-raising so an interrupted
+            # campaign resumes instead of restarting: the store holds every
+            # merged evaluation, the journal every finalized outcome.
+            if checkpoint is not None:
+                checkpoint.flush(store)
+            else:
+                store.flush()
+            raise
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+        if checkpoint is not None:
+            checkpoint.flush(store)
+        return [outcome for outcome in outcomes if outcome is not None]
 
     @staticmethod
     def _submit(pool: ProcessPoolExecutor, job: ExplorationJob,
                 snapshot_blob: bytes, store_outputs: bool):
         try:
             return pool.submit(_run_job_in_worker, job, snapshot_blob, store_outputs)
-        except Exception:  # unpicklable job: captured, does not kill the sweep
-            return _format_job_error(job)
-
-    @staticmethod
-    def _collect(job: ExplorationJob, future: object, store: EvaluationStore,
-                 started: float) -> JobOutcome:
-        if isinstance(future, str):  # submission failed (see _submit)
-            return JobOutcome(job=job, error=future)
-        try:
-            result, error, new_entries, stats = future.result()
-        except Exception:  # pickling of arguments/results failed in transit
-            # future.result() re-raises the worker exception with the remote
-            # traceback chained in, so _format_job_error keeps both sides.
-            return JobOutcome(job=job, error=_format_job_error(job),
-                              duration_s=time.perf_counter() - started)
-        store.merge(new_entries)
-        store.record_external_lookups(stats.hits, stats.misses, stats.upgrades)
-        return JobOutcome(job=job, result=result, error=error,
-                          duration_s=time.perf_counter() - started)
+        except Exception as exc:  # unpicklable job: captured, does not kill the sweep
+            error, _ = _capture_failure(job, exc)
+            return error

@@ -1,0 +1,299 @@
+"""Deterministic fault injection: rehearse crashes without real ones.
+
+Fault tolerance that is only exercised by real outages is untested code.
+This module makes worker death, transient store errors and wedged jobs
+*injectable*: a :class:`FaultPlan` declares which job executions fail and
+how, :meth:`FaultPlan.install` materializes it on disk, and
+:func:`inject_faults` — called by :func:`~repro.runtime.jobs.execute_job`
+at the top of every execution — fires the matching rules.  The hook is
+entirely env-guarded (:data:`FAULT_PLAN_ENV`): without the variable the
+runtime takes one dictionary lookup and injects nothing, so production
+campaigns never pay for the harness.
+
+Determinism is the point.  Rules match on the job's ``describe()``
+identity and fire on a fixed occurrence window (``after`` matching
+executions skipped, then ``times`` firings), with the firing state kept
+as atomically-created marker files next to the plan — ``O_CREAT|O_EXCL``
+makes each occurrence claimable exactly once *across processes*, so a
+plan drives the same faults into a serial run, a process fan-out, and a
+killed-and-resumed campaign.  The chaos CI job and
+``tests/test_fault_tolerance.py`` are built on this: kill a worker on the
+Nth job, watch the executor rebuild the pool, resume, and compare reports
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError, TransientError
+
+__all__ = ["FAULT_PLAN_ENV", "FaultRule", "FaultPlan", "inject_faults"]
+
+#: Environment variable naming the installed plan file; unset = no faults.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: The injectable failure modes.
+FAULT_ACTIONS = ("kill", "transient", "delay")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injectable fault: *which* executions fail and *how*.
+
+    Attributes
+    ----------
+    action:
+        ``"kill"`` — terminate the executing process immediately
+        (``os._exit``), simulating a crashed worker (or, under the serial
+        executor, a killed campaign); ``"transient"`` — raise a
+        :class:`~repro.errors.TransientError`, simulating a recoverable
+        store/infrastructure failure; ``"delay"`` — sleep ``delay_s``
+        before the job runs, pushing it past a configured timeout.
+    match:
+        Substring of the job's ``describe()`` identity selecting which
+        jobs the rule applies to; ``"*"`` matches every job.
+    times:
+        How many matching executions fire (0 disables the rule).
+    after:
+        Matching executions skipped before the first firing — "kill the
+        worker on the 3rd job" is ``after=2, times=1``.  Retries count as
+        new executions, so a transient rule with ``times=1`` fails the
+        first attempt and lets the retry through.
+    delay_s / exit_code:
+        Parameters of the ``delay`` and ``kill`` actions.
+    """
+
+    action: str
+    match: str = "*"
+    times: int = 1
+    after: int = 0
+    delay_s: float = 0.0
+    exit_code: int = 23
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise ConfigurationError(
+                f"fault action must be one of {FAULT_ACTIONS}, got {self.action!r}"
+            )
+        if not isinstance(self.match, str) or not self.match:
+            raise ConfigurationError(
+                f"fault match must be a non-empty string, got {self.match!r}"
+            )
+        for name in ("times", "after"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ConfigurationError(
+                    f"fault {name} must be a non-negative integer, got {value!r}"
+                )
+        if (not isinstance(self.delay_s, (int, float))
+                or isinstance(self.delay_s, bool) or self.delay_s < 0):
+            raise ConfigurationError(
+                f"fault delay_s must be a non-negative number, got {self.delay_s!r}"
+            )
+        object.__setattr__(self, "delay_s", float(self.delay_s))
+        if (not isinstance(self.exit_code, int) or isinstance(self.exit_code, bool)
+                or not 0 <= self.exit_code <= 255):
+            raise ConfigurationError(
+                f"fault exit_code must be in [0, 255], got {self.exit_code!r}"
+            )
+
+    def matches(self, identity: str) -> bool:
+        return self.match == "*" or self.match in identity
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "action": self.action, "match": self.match, "times": self.times,
+            "after": self.after, "delay_s": self.delay_s,
+            "exit_code": self.exit_code,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "FaultRule":
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"fault rule must be a mapping, got {type(payload).__name__}"
+            )
+        allowed = ("action", "match", "times", "after", "delay_s", "exit_code")
+        unknown = sorted(set(payload) - set(allowed))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault rule key(s) {unknown}; allowed keys: {sorted(allowed)}"
+            )
+        if "action" not in payload:
+            raise ConfigurationError("fault rule requires an 'action'")
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible set of :class:`FaultRule` injections.
+
+    ``seed`` is provenance: it names the scenario (and lands in the plan
+    document) so chaos runs are tellable apart, but the injection points
+    themselves are fully determined by the rules and the deterministic
+    job expansion order — nothing is sampled at run time.
+    """
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        rules = tuple(
+            rule if isinstance(rule, FaultRule) else FaultRule.from_dict(rule)
+            for rule in self.rules
+        )
+        object.__setattr__(self, "rules", rules)
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ConfigurationError(f"fault plan seed must be an integer, "
+                                     f"got {self.seed!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"seed": self.seed, "rules": [rule.to_dict() for rule in self.rules]}
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"fault plan must be a mapping, got {type(payload).__name__}"
+            )
+        unknown = sorted(set(payload) - {"seed", "rules"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault plan key(s) {unknown}; allowed keys: "
+                f"['rules', 'seed']"
+            )
+        rules = payload.get("rules", [])
+        if not isinstance(rules, list):
+            raise ConfigurationError(
+                f"fault plan rules must be a list, got {type(rules).__name__}"
+            )
+        return cls(rules=tuple(FaultRule.from_dict(rule) for rule in rules),
+                   seed=payload.get("seed", 0))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def install(self, directory: Union[str, Path]) -> Dict[str, str]:
+        """Materialize the plan under ``directory``; returns the env mapping.
+
+        Writes ``fault_plan.json`` plus an (initially empty) firing-state
+        directory, and returns ``{FAULT_PLAN_ENV: <plan path>}`` for the
+        caller to place into a subprocess environment (or ``os.environ``
+        for in-process tests).  Installing over an existing plan resets
+        the firing state — every rule becomes armed again.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        plan_path = directory / "fault_plan.json"
+        plan_path.write_text(self.to_json() + "\n", encoding="utf-8")
+        state_dir = _state_dir(plan_path)
+        if state_dir.exists():
+            for marker in state_dir.iterdir():
+                marker.unlink()
+        else:
+            state_dir.mkdir()
+        return {FAULT_PLAN_ENV: str(plan_path)}
+
+
+# ------------------------------------------------------------------ injection
+
+
+def _state_dir(plan_path: Path) -> Path:
+    return plan_path.with_name(plan_path.name + ".state")
+
+
+#: Loaded plans keyed by (path, mtime_ns): re-installed plans reload.
+_PLAN_CACHE: Dict[Tuple[str, int], FaultPlan] = {}
+
+
+def _load_plan(plan_path: Path) -> FaultPlan:
+    try:
+        mtime_ns = plan_path.stat().st_mtime_ns
+    except OSError as exc:
+        raise ConfigurationError(
+            f"fault plan {plan_path} (from ${FAULT_PLAN_ENV}) is not "
+            f"readable: {exc}"
+        ) from exc
+    cache_key = (str(plan_path), mtime_ns)
+    plan = _PLAN_CACHE.get(cache_key)
+    if plan is None:
+        plan = FaultPlan.from_json(plan_path.read_text(encoding="utf-8"))
+        _PLAN_CACHE.clear()  # one active plan per process is plenty
+        _PLAN_CACHE[cache_key] = plan
+    return plan
+
+
+def _claim_occurrence(state_dir: Path, rule_index: int,
+                      limit: int) -> Optional[int]:
+    """Atomically claim the next occurrence slot of one rule, if any.
+
+    Occurrence ``k`` of rule ``i`` is the marker file ``rule<i>.<k>``;
+    ``O_CREAT | O_EXCL`` guarantees each slot is claimed by exactly one
+    process, which is what keeps a plan deterministic under process
+    fan-out and across a kill-and-resume boundary (spent faults stay
+    spent).  Returns the claimed slot, or ``None`` once the rule's
+    interesting window (``limit = after + times``) is exhausted.
+    """
+    state_dir.mkdir(exist_ok=True)
+    for slot in range(limit):
+        marker = state_dir / f"rule{rule_index}.{slot}"
+        try:
+            handle = os.open(str(marker), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(handle)
+        return slot
+    return None
+
+
+def _fire(rule: FaultRule, identity: str) -> None:
+    if rule.action == "delay":
+        time.sleep(rule.delay_s)
+        return
+    if rule.action == "transient":
+        raise TransientError(
+            f"injected transient fault for {identity} "
+            f"(fault plan rule match={rule.match!r})"
+        )
+    # action == "kill": die the way a crashed worker dies — no cleanup, no
+    # exception, no flush; the surviving side must cope.
+    os._exit(rule.exit_code)
+
+
+def inject_faults(job) -> None:
+    """Fire the installed fault plan's rules matching this job execution.
+
+    Called by :func:`~repro.runtime.jobs.execute_job` before any real
+    work.  A no-op (one env lookup) unless :data:`FAULT_PLAN_ENV` names an
+    installed plan.  Test-only by design: the env guard means results can
+    never depend on it in production, and the lint pragma below records
+    exactly that trade.
+    """
+    plan_path = os.environ.get(FAULT_PLAN_ENV)  # repro: disable=determinism -- env-guarded chaos harness: off (and result-neutral) unless a test installs a plan
+    if not plan_path:
+        return
+    path = Path(plan_path)
+    plan = _load_plan(path)
+    state_dir = _state_dir(path)
+    identity = job.describe()
+    for rule_index, rule in enumerate(plan.rules):
+        if rule.times == 0 or not rule.matches(identity):
+            continue
+        slot = _claim_occurrence(state_dir, rule_index, rule.after + rule.times)
+        if slot is None or slot < rule.after:
+            continue
+        _fire(rule, identity)

@@ -508,6 +508,11 @@ def execute_job(job: ExplorationJob,
     environment's evaluator and thresholds; ``on_step`` only applies to the
     step-loop (RL) families.
     """
+    from repro.runtime.faults import inject_faults
+
+    # Chaos hook: a no-op unless a test installed a fault plan (env-guarded).
+    inject_faults(job)
+
     if isinstance(job, SweepJob):
         from repro.dse.sweep import execute_sweep_job
 

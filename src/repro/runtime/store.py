@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import pickle
 import sqlite3
+import time
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -363,9 +364,21 @@ class EvaluationStore:
         The backend is rewritten to mirror the in-memory contents exactly, so
         :meth:`clear` / :meth:`clear_context` survive a flush-and-reload.  A
         no-op (returning 0) for purely in-memory stores.
+
+        A transient ``sqlite3.OperationalError`` ("database is locked" — a
+        concurrent reader holding the file) is retried once after a short
+        backoff before it propagates; the rewrite is idempotent, so the
+        retry can only help.
         """
         if self._path is None:
             return 0
+        try:
+            return self._flush_once()
+        except sqlite3.OperationalError:
+            time.sleep(0.1)
+            return self._flush_once()
+
+    def _flush_once(self) -> int:
         self._path.parent.mkdir(parents=True, exist_ok=True)
         with sqlite3.connect(self._path) as connection:
             connection.execute(

@@ -1,0 +1,48 @@
+"""Fixture: runtime-path error-hygiene compliant patterns.
+
+Broad handlers in runtime code that re-raise, classify inline via
+``is_retryable``, or delegate to a helper chain that classifies — all
+compliant.
+"""
+
+import traceback
+
+from repro.runtime.resilience import is_retryable
+
+
+def classifies_inline(job):
+    try:
+        return job.run(), None, False
+    except Exception as exc:
+        return None, traceback.format_exc(), is_retryable(exc)
+
+
+def _capture_failure(job, exc):
+    return f"{job}: {traceback.format_exc()}", is_retryable(exc)
+
+
+def delegates_to_classifying_helper(job):
+    try:
+        return job.run(), None, False
+    except Exception as exc:
+        error, retryable = _capture_failure(job, exc)
+        return None, error, retryable
+
+
+def _capture(job, exc):
+    return _capture_failure(job, exc)
+
+
+def delegates_two_hops(job):
+    try:
+        return job.run(), None, False
+    except Exception as exc:
+        error, retryable = _capture(job, exc)
+        return None, error, retryable
+
+
+def reraises_wrapped(job):
+    try:
+        return job.run()
+    except Exception as exc:
+        raise RuntimeError(f"{job} failed") from exc

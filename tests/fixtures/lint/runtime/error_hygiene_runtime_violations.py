@@ -1,0 +1,26 @@
+"""Fixture: runtime-path error-hygiene violations (unclassified captures).
+
+This file lives under a ``runtime/`` directory, so its broad handlers
+must classify captured failures as retryable (``is_retryable`` or a
+helper chain reaching it) — a perfect traceback alone is not enough.
+"""
+
+import traceback
+
+
+def captures_but_never_classifies(job):
+    try:
+        return job.run(), None
+    except Exception:  # line 14: traceback yes, classification no
+        return None, traceback.format_exc()
+
+
+def _format_error(job):
+    return f"{job}: {traceback.format_exc()}"
+
+
+def delegates_capture_but_not_classification(job):
+    try:
+        return job.run(), None
+    except Exception:  # line 25: helper captures, nobody classifies
+        return None, _format_error(job)

@@ -129,6 +129,27 @@ class TestErrorHygieneRule:
         report = lint_fixture("error_hygiene_clean.py", "error-hygiene")
         assert report.ok, render_human(report)
 
+    def test_runtime_modules_must_also_classify_retryability(self):
+        report = lint_fixture("runtime/error_hygiene_runtime_violations.py",
+                              "error-hygiene")
+        assert [(v.rule, v.line) for v in report.violations] == [
+            ("error-hygiene", 14),  # traceback captured, never classified
+            ("error-hygiene", 25),  # helper captures, nobody classifies
+        ]
+        assert all("retryable" in v.message for v in report.violations)
+
+    def test_runtime_classification_patterns_are_compliant(self):
+        # Inline is_retryable, helper delegation (one and two hops), re-raise.
+        report = lint_fixture("runtime/error_hygiene_runtime_clean.py",
+                              "error-hygiene")
+        assert report.ok, render_human(report)
+
+    def test_classification_rule_only_applies_under_runtime_paths(self):
+        # The plain fixtures capture tracebacks without classifying; outside
+        # a runtime/ directory that stays compliant.
+        report = lint_fixture("error_hygiene_clean.py", "error-hygiene")
+        assert report.ok, render_human(report)
+
 
 class TestPragmas:
     def test_parse_pragma_grammar(self):

@@ -76,6 +76,10 @@ ALTERNATE_RUNTIME_VALUES = {
     "store_outputs": True,
     "compiled": False,
     "batch_size": 3,
+    "retries": 3,
+    "job_timeout_s": 12.5,
+    "checkpoint_interval": 5,
+    "resume": True,
 }
 
 
@@ -93,6 +97,8 @@ class TestRuntimeFingerprintInvariance:
         kwargs = {field_name: ALTERNATE_RUNTIME_VALUES[field_name]}
         if field_name == "jobs":
             kwargs["executor"] = "process"  # serial requires jobs=1
+        if field_name in ("checkpoint_interval", "resume"):
+            kwargs["store_path"] = "elsewhere.sqlite"  # checkpoints need a store
         assert spec.with_runtime(RuntimeSpec(**kwargs)).fingerprint() \
             == spec.fingerprint()
 

@@ -1,0 +1,239 @@
+"""Store and journal corruption recovery: degrade loudly, never lie.
+
+The contract under test: a damaged persistence layer may cost a re-run or
+stop the program with an actionable one-liner, but it must never feed
+wrong results into a report —
+
+* a truncated / non-sqlite / corrupt-record store file raises
+  :class:`~repro.errors.ConfigurationError` naming the file and the fix;
+* a transient ``sqlite3.OperationalError`` on flush is retried exactly
+  once, then propagates;
+* a checkpoint journal that disagrees with the store (stale journal,
+  foreign journal, missing store) degrades to restore-from-journal or a
+  cold re-run — both bit-identical to an uninterrupted campaign;
+* the CLI's atomic report writer leaves no partial files behind on
+  failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+
+import pytest
+
+from repro.benchmarks import DotProductBenchmark
+from repro.cli import main
+from repro.dse import Evaluator
+from repro.errors import ConfigurationError
+from repro.runtime import (
+    AgentSpec,
+    CampaignCheckpoint,
+    EvaluationStore,
+    ExplorationJob,
+    SerialExecutor,
+)
+
+
+def _job(seed=0, max_steps=10):
+    return ExplorationJob(
+        benchmark_label="dot",
+        benchmark=DotProductBenchmark(length=12),
+        seed=seed,
+        agent=AgentSpec("random"),
+        max_steps=max_steps,
+    )
+
+
+def _jobs(count):
+    return [_job(seed=seed) for seed in range(count)]
+
+
+def _signatures(outcomes):
+    return [[record.deltas for record in outcome.result.records]
+            for outcome in outcomes]
+
+
+def _populated_store(path: Path) -> EvaluationStore:
+    store = EvaluationStore(path=str(path))
+    evaluator = Evaluator(DotProductBenchmark(length=12), seed=0, store=store)
+    evaluator.evaluate(evaluator.design_space.initial_point())
+    store.flush()
+    return store
+
+
+# ----------------------------------------------------------- corrupt backends
+
+
+class TestCorruptStoreFiles:
+    def test_non_sqlite_file_is_an_actionable_error(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        path.write_bytes(b"this was never a database")
+        with pytest.raises(ConfigurationError,
+                           match="not a readable store database"):
+            EvaluationStore(path=str(path))
+
+    def test_truncated_database_is_an_actionable_error(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        _populated_store(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # crash mid-write
+        with pytest.raises(ConfigurationError, match="delete the file"):
+            EvaluationStore(path=str(path))
+
+    def test_corrupt_record_blob_is_an_actionable_error(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        _populated_store(path)
+        with sqlite3.connect(path) as connection:
+            connection.execute("UPDATE evaluations SET record = ?",
+                               (b"junk, not a pickle",))
+        with pytest.raises(ConfigurationError, match="corrupt record"):
+            EvaluationStore(path=str(path))
+
+    def test_corrupt_key_text_is_an_actionable_error(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        _populated_store(path)
+        with sqlite3.connect(path) as connection:
+            connection.execute("UPDATE evaluations SET key = 'mangled'")
+        with pytest.raises(ConfigurationError, match="corrupt record"):
+            EvaluationStore(path=str(path))
+
+    def test_intact_store_reloads_bit_identical(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        store = _populated_store(path)
+        reloaded = EvaluationStore(path=str(path))
+        assert len(reloaded) == len(store) == 1
+        [key] = store.keys()
+        assert reloaded.get(key).deltas == store.get(key).deltas
+
+
+class TestFlushRetry:
+    def _store_with_record(self, tmp_path) -> EvaluationStore:
+        return _populated_store(tmp_path / "evals.sqlite")
+
+    def test_transient_lock_is_retried_once(self, tmp_path, monkeypatch):
+        store = self._store_with_record(tmp_path)
+        original = store._flush_once
+        calls = []
+
+        def locked_once():
+            calls.append(1)
+            if len(calls) == 1:
+                raise sqlite3.OperationalError("database is locked")
+            return original()
+
+        monkeypatch.setattr(store, "_flush_once", locked_once)
+        assert store.flush() == 1
+        assert len(calls) == 2
+
+    def test_persistent_lock_propagates_after_one_retry(self, tmp_path,
+                                                        monkeypatch):
+        store = self._store_with_record(tmp_path)
+        calls = []
+
+        def always_locked():
+            calls.append(1)
+            raise sqlite3.OperationalError("database is locked")
+
+        monkeypatch.setattr(store, "_flush_once", always_locked)
+        with pytest.raises(sqlite3.OperationalError):
+            store.flush()
+        assert len(calls) == 2  # exactly one retry, then honesty
+
+
+# ------------------------------------------- journal/store disagreement
+
+
+class TestJournalStoreDisagreement:
+    """A wrong resume is worse than a slow one: disagreement never lies."""
+
+    def _run_with_journal(self, tmp_path):
+        store_path = tmp_path / "evals.sqlite"
+        journal = tmp_path / "evals.sqlite.checkpoint.jsonl"
+        store = EvaluationStore(path=str(store_path))
+        outcomes = SerialExecutor().run(
+            _jobs(3), store=store, checkpoint=CampaignCheckpoint(journal))
+        return store_path, journal, _signatures(outcomes)
+
+    def test_journal_without_store_still_restores_correctly(self, tmp_path):
+        # The journal carries the pickled results themselves, so a deleted
+        # store costs warm-start, not correctness.
+        store_path, journal, expected = self._run_with_journal(tmp_path)
+        store_path.unlink()
+        checkpoint = CampaignCheckpoint(journal)
+        resumed = SerialExecutor().run(
+            _jobs(3), store=EvaluationStore(path=str(store_path)),
+            checkpoint=checkpoint)
+        assert checkpoint.restored == 3
+        assert _signatures(resumed) == expected
+
+    def test_foreign_journal_never_matches(self, tmp_path):
+        # A journal left behind by a different campaign: fingerprints are
+        # content hashes, so nothing restores and everything re-runs.
+        _, journal, _ = self._run_with_journal(tmp_path)
+        foreign_jobs = [_job(seed=seed + 100) for seed in range(3)]
+        clean = _signatures(SerialExecutor().run(foreign_jobs))
+        checkpoint = CampaignCheckpoint(journal)
+        outcomes = SerialExecutor().run(foreign_jobs, checkpoint=checkpoint)
+        assert checkpoint.restored == 0
+        assert _signatures(outcomes) == clean
+
+    def test_store_without_journal_reruns_bit_identical(self, tmp_path):
+        # The inverse disagreement: warm store, missing journal.  Every job
+        # re-executes against the warm store; results never change.
+        store_path, journal, expected = self._run_with_journal(tmp_path)
+        journal.unlink()
+        checkpoint = CampaignCheckpoint(journal)
+        outcomes = SerialExecutor().run(
+            _jobs(3), store=EvaluationStore(path=str(store_path)),
+            checkpoint=checkpoint)
+        assert checkpoint.restored == 0
+        assert _signatures(outcomes) == expected
+
+    def test_stale_journal_subset_reruns_only_the_rest(self, tmp_path):
+        # Journal knows 3 of 5 jobs (a kill landed between flushes): the
+        # known 3 restore, the other 2 execute, results match a clean run.
+        store_path, journal, _ = self._run_with_journal(tmp_path)
+        clean = _signatures(SerialExecutor().run(_jobs(5)))
+        checkpoint = CampaignCheckpoint(journal)
+        outcomes = SerialExecutor().run(
+            _jobs(5), store=EvaluationStore(path=str(store_path)),
+            checkpoint=checkpoint)
+        assert checkpoint.restored == 3
+        assert _signatures(outcomes) == clean
+
+
+# --------------------------------------------------------- atomic CLI output
+
+
+class TestAtomicReportWriter:
+    def _spec_path(self, tmp_path) -> Path:
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "kind": "explore",
+            "benchmarks": ["dotproduct:length=12"],
+            "agents": ["random"],
+            "seeds": [0],
+            "max_steps": 10,
+        }))
+        return path
+
+    def test_unwritable_destination_leaves_no_partial_file(self, tmp_path,
+                                                           capsys):
+        spec_path = self._spec_path(tmp_path)
+        out_dir = tmp_path / "report.json"
+        out_dir.mkdir()  # a directory where the report file should go
+        assert main(["run", str(spec_path), "--out", str(out_dir)]) == 2
+        assert "cannot write" in capsys.readouterr().err
+        # The temporary never survives a failed replace.
+        assert not (tmp_path / "report.json.tmp").exists()
+        assert list(out_dir.iterdir()) == []
+
+    def test_successful_write_is_complete_and_tmp_free(self, tmp_path, capsys):
+        spec_path = self._spec_path(tmp_path)
+        out = tmp_path / "reports" / "report.json"
+        assert main(["run", str(spec_path), "--out", str(out)]) == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["ok"] is True
+        assert not out.with_name(out.name + ".tmp").exists()
