@@ -1,0 +1,212 @@
+"""Evaluation service — aggregate client throughput vs per-client cold runs.
+
+The service's economic claim: N clients sharing one warm daemon finish
+their (overlapping) experiments much faster than the same N clients each
+paying the full cold cost privately.  Two timed scenarios, same clients,
+same specs:
+
+1. **cold** — every client is its own subprocess running
+   ``run_experiment`` locally: a fresh interpreter, a cold store, the
+   whole evaluation pass repeated N times;
+2. **service** — a daemon is started and warmed once, then the same N
+   client subprocesses submit concurrently over its unix socket.
+   Identical submissions coalesce onto one in-flight ticket, so the
+   daemon performs a single evaluation pass and serves everyone.
+
+Correctness is asserted before speed: every service client's canonical
+report bytes equal the cold (serial) reference bytes, and the daemon
+drains cleanly (SIGTERM -> exit 0, socket removed).  Full-scale runs
+assert a **>= 5x** aggregate-throughput floor and refresh the checked-in
+``BENCH_service_throughput.json``; ``--smoke`` shrinks the workload and
+skips the wall-clock assertion (CI still checks every contract above).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import textwrap
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_JSON_PATH = _REPO_ROOT / "BENCH_service_throughput.json"
+
+#: One cold client: run the spec locally, write the canonical bytes.
+_COLD_DRIVER = textwrap.dedent("""
+    import json, sys
+
+    from repro.experiments import ExperimentSpec, run_experiment
+
+    spec_path, out_path = sys.argv[1:3]
+    spec = ExperimentSpec.from_dict(json.load(open(spec_path)))
+    report = run_experiment(spec)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(report.canonical_json())
+""")
+
+#: One service client: submit the spec to the daemon, write the bytes.
+_SERVICE_DRIVER = textwrap.dedent("""
+    import json, sys
+
+    from repro.experiments import ExperimentSpec
+    from repro.service import ServiceClient
+
+    spec_path, address, out_path = sys.argv[1:4]
+    spec = ExperimentSpec.from_dict(json.load(open(spec_path)))
+    report = ServiceClient(address).run(spec, timeout_s=600)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(report.canonical_json())
+""")
+
+
+def _env():
+    env = dict(os.environ)  # repro: disable=determinism -- subprocess env plumbing; results come from the specs, not the ambient env
+    env["PYTHONPATH"] = (str(_REPO_ROOT / "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    return env
+
+
+def _run_wave(commands):
+    """Run client commands concurrently; return the aggregate wall-clock."""
+    started = time.perf_counter()
+    processes = [
+        subprocess.Popen(command, env=_env(), stdout=subprocess.PIPE,
+                         stderr=subprocess.STDOUT, text=True)
+        for command in commands
+    ]
+    failures = []
+    for process in processes:
+        output = process.communicate(timeout=600)[0]
+        if process.returncode != 0:
+            failures.append(f"client exited {process.returncode}:\n{output}")
+    assert not failures, "\n".join(failures)
+    return time.perf_counter() - started
+
+
+def test_service_throughput(benchmark, smoke, tmp_path):
+    # A sweep is the evaluation-dominated workload the service exists
+    # for: exhaustive design-space evaluation, no exploration loop, so a
+    # cold client pays for every single point and a warm daemon replays
+    # all of them from its store.
+    if smoke:
+        num_clients, benchmarks, seeds = 4, ["fir:num_samples=50"], [0]
+    else:
+        num_clients = 6
+        benchmarks = ["dct", "sobel", "matmul:rows=20,inner=20,cols=20",
+                      "fir:num_samples=200"]
+        seeds = [0, 1, 2]
+
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({
+        "kind": "sweep",
+        "benchmarks": benchmarks,
+        "seeds": seeds,
+    }))
+    cold_driver = tmp_path / "cold.py"
+    cold_driver.write_text(_COLD_DRIVER, encoding="utf-8")
+    service_driver = tmp_path / "client.py"
+    service_driver.write_text(_SERVICE_DRIVER, encoding="utf-8")
+    socket_path = tmp_path / "evald.sock"
+    cold_outs = [tmp_path / f"cold{i}.json" for i in range(num_clients)]
+    service_outs = [tmp_path / f"warm{i}.json" for i in range(num_clients)]
+
+    def run_all():
+        cold_s = _run_wave([
+            [sys.executable, str(cold_driver), str(spec_path), str(out)]
+            for out in cold_outs
+        ])
+
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--socket", str(socket_path),
+             "--store", str(tmp_path / "evals.sqlite")],
+            env=_env(), stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        try:
+            ready = daemon.stdout.readline()
+            assert "ready on" in ready, ready
+            # Warm the daemon: one submission pays the cold cost once.
+            warmup_s = _run_wave([[sys.executable, str(service_driver),
+                                   str(spec_path), str(socket_path),
+                                   str(tmp_path / "warmup.json")]])
+            service_s = _run_wave([
+                [sys.executable, str(service_driver), str(spec_path),
+                 str(socket_path), str(out)]
+                for out in service_outs
+            ])
+        finally:
+            daemon.send_signal(signal.SIGTERM)
+            drain_code = daemon.wait(timeout=120)
+        return {"cold_s": cold_s, "warmup_s": warmup_s,
+                "service_s": service_s, "drain_code": drain_code}
+
+    measured = benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    # Correctness before speed: one truth, every client received it.
+    reference = cold_outs[0].read_bytes()
+    assert all(out.read_bytes() == reference for out in cold_outs)
+    bit_identical = all(out.read_bytes() == reference
+                        for out in service_outs)
+    assert bit_identical, "a service client's report differs from the cold run"
+    assert measured["drain_code"] == 0, "daemon did not drain cleanly"
+    assert not socket_path.exists(), "daemon left its socket behind"
+
+    cold_throughput = num_clients / measured["cold_s"]
+    service_throughput = num_clients / measured["service_s"]
+    speedup = service_throughput / cold_throughput
+    floor = 5.0
+    if not smoke:
+        assert speedup >= floor, (
+            f"warm daemon reached only {speedup:.1f}x aggregate throughput "
+            f"({service_throughput:.2f} vs {cold_throughput:.2f} "
+            f"clients/s); floor is {floor}x"
+        )
+
+    report = {
+        "benchmark": "bench_service_throughput",
+        "smoke": smoke,
+        "workload": {
+            "kind": "sweep",
+            "benchmarks": benchmarks,
+            "seeds": seeds,
+            "clients": num_clients,
+        },
+        "cold": {
+            "wall_clock_s": round(measured["cold_s"], 3),
+            "clients_per_s": round(cold_throughput, 3),
+        },
+        "service": {
+            "warmup_s": round(measured["warmup_s"], 3),
+            "wall_clock_s": round(measured["service_s"], 3),
+            "clients_per_s": round(service_throughput, 3),
+            "drain_exit_code": measured["drain_code"],
+        },
+        "speedup": round(speedup, 2),
+        "floor": floor,
+        "bit_identical": bit_identical,
+    }
+    benchmark.extra_info.update({
+        "clients": num_clients,
+        "speedup": round(speedup, 2),
+        "bit_identical": bit_identical,
+    })
+
+    print(f"\nService throughput ({num_clients} clients, sweep of "
+          f"{len(benchmarks)} benchmark(s) x {len(seeds)} seed(s))")
+    print(f"  cold (per-client runs)  {measured['cold_s']:8.2f} s   "
+          f"({cold_throughput:.2f} clients/s)")
+    print(f"  warm daemon             {measured['service_s']:8.2f} s   "
+          f"({service_throughput:.2f} clients/s, warmed in "
+          f"{measured['warmup_s']:.2f} s)")
+    print(f"  speedup                 {speedup:8.1f} x   "
+          f"(bit-identical: {bit_identical}, drain exit 0)")
+
+    # CI/local smoke run lands in a temp file instead.
+    json_path = _JSON_PATH if not smoke else \
+        Path(tempfile.gettempdir()) / "BENCH_service_throughput.smoke.json"
+    json_path.write_text(json.dumps(report, indent=2) + "\n")

@@ -14,6 +14,9 @@
   json`` for the full plan document);
 * ``store stats`` — inspect a persistent evaluation store read-only:
   per-context record counts, file size and lifetime hit/upgrade counters;
+* ``serve`` — run the long-lived evaluation daemon (:mod:`repro.service`):
+  one shared store, executor and checkpoint journal behind a unix socket
+  or localhost TCP port; ``run --remote ADDR`` submits specs to it;
 * ``explore`` — run one exploration on a benchmark and print its
   Table-III style summary;
 * ``compare`` — run the RL agent and the baselines on the same benchmark;
@@ -65,6 +68,7 @@ from repro.errors import (
     ConfigurationError,
     ReportingError,
     ReproError,
+    ServiceError,
     UnknownBenchmarkError,
 )
 from repro.experiments import (
@@ -168,6 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--explain", action="store_true",
                          help="print the execution plan (what the store answers "
                               "vs. what evaluates) before running")
+    run_cmd.add_argument("--remote", default=None, metavar="ADDR",
+                         help="submit the spec to a running evaluation daemon "
+                              "(unix-socket path or host:port; see 'serve') "
+                              "instead of executing locally; the report is "
+                              "byte-identical to a local run")
     _add_resilience_arguments(run_cmd)
 
     plan_cmd = subparsers.add_parser(
@@ -200,6 +209,32 @@ def build_parser() -> argparse.ArgumentParser:
     store_stats.add_argument("--format", choices=("human", "json"), default="human",
                              dest="format_", metavar="FORMAT",
                              help="output format: human (default) or json")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived evaluation daemon: a shared store, warm "
+             "compiled kernels and in-flight dedup behind a unix socket or "
+             "localhost TCP port",
+    )
+    endpoint = serve.add_mutually_exclusive_group(required=True)
+    endpoint.add_argument("--socket", default=None, metavar="PATH",
+                          help="listen on a unix domain socket at PATH")
+    endpoint.add_argument("--port", type=int, default=None, metavar="N",
+                          help="listen on localhost TCP port N (0 = pick a "
+                               "free port; the chosen port is printed on the "
+                               "ready line)")
+    serve.add_argument("--store", default=None, metavar="PATH",
+                       help="sqlite file persisting the shared evaluation "
+                            "store (default: in-memory for the daemon's "
+                            "lifetime)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for evaluation batches "
+                            "(1 = serial execution)")
+    serve.add_argument("--batch-size", type=int, default=0,
+                       help="seeds stepped in lockstep per exploration job "
+                            "(0 = auto; 1 = per-seed jobs, the finest "
+                            "checkpoint granularity; results are identical)")
+    _add_resilience_arguments(serve)
 
     explore_cmd = subparsers.add_parser(
         "explore", help="run one exploration and print its Table-III summary"
@@ -551,8 +586,61 @@ def _resilient_runtime(runtime: RuntimeSpec, args: argparse.Namespace,
     return dataclasses.replace(runtime, **updates)
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import EvaluationDaemon
+
+    daemon = EvaluationDaemon(
+        store_path=args.store,
+        socket_path=args.socket,
+        port=args.port,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        retries=args.retries,
+        job_timeout_s=args.job_timeout,
+        # The daemon journals every finished job by default: a killed
+        # daemon restarted with --resume replays them instead of re-running.
+        checkpoint_interval=args.checkpoint_interval or 1,
+        resume=args.resume,
+    )
+    return daemon.serve()
+
+
+def _command_run_remote(args: argparse.Namespace, spec: ExperimentSpec,
+                        address: str) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(address)
+    spec_path = Path(args.spec)
+    header = f"Experiment {spec.kind} {spec.fingerprint()} from {spec_path}"
+    if spec.description:
+        header += f" — {spec.description}"
+    print(header)
+    print(f"  submitting to the evaluation daemon at {client.address}")
+    report = client.run(spec)
+    suffix = " (coalesced onto an in-flight submission)" if report.coalesced else ""
+    print(f"  ticket {report.ticket}{suffix}")
+
+    entries = report.payload.get("entries", [])
+    failed = [entry for entry in entries if not entry.get("ok")]
+    for entry in failed:
+        print(f"\nFAILED {entry.get('benchmark_label')}"
+              f"[seed={entry.get('seed')}]:\n{entry.get('error')}")
+    print(f"\n{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+          f"{'all ok' if not failed else f'{len(failed)} failed'}")
+    _print_store_line(report)
+
+    if args.out is not None:
+        out_path = Path(args.out)
+        _write_output(out_path, report.to_json(), "experiment report")
+        print(f"Report written to {out_path}")
+    return 0 if report.ok else 1
+
+
 def _command_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args.spec, args.overrides)
+    remote = args.remote if args.remote is not None else spec.runtime.remote
+    if remote is not None:
+        return _command_run_remote(args, spec, remote)
     spec = spec.with_runtime(_resilient_runtime(spec.runtime, args,
                                                 store_path=args.store))
     spec_path = Path(args.spec)
@@ -778,9 +866,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     :class:`UnknownBenchmarkError` / :class:`ConfigurationError`, including
     unwritable ``--out`` destinations) print a one-line error to stderr and
     exit with status 2 instead of a raw traceback; execution failures inside
-    a campaign or the artifact pipeline (:class:`ReportingError`) are
-    reported with exit status 1.  Other runtime errors propagate with their
-    traceback — they indicate bugs, not configuration.
+    a campaign or the artifact pipeline (:class:`ReportingError`) and
+    evaluation-service failures (:class:`ServiceError`, including protocol
+    violations) are reported with exit status 1.  Other runtime errors
+    propagate with their traceback — they indicate bugs, not configuration.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -789,6 +878,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _command_run,
         "plan": _command_plan,
         "store": _command_store,
+        "serve": _command_serve,
         "explore": _command_explore,
         "compare": _command_compare,
         "campaign": _command_campaign,
@@ -809,6 +899,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReportingError as exc:
         # Artifact-pipeline execution failures: one line, exit 1 (the
         # configuration was fine; something failed while running it).
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ServiceError as exc:
+        # Daemon/client failures (unreachable daemon, failed ticket,
+        # protocol violation): one line, exit 1 — never a socket traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -94,3 +94,19 @@ class AnalysisError(ReproError):
 
 class ReportingError(ReproError):
     """The artifact pipeline could not produce or publish an artifact."""
+
+
+class ServiceError(ReproError):
+    """The evaluation service (daemon or client) failed an operation.
+
+    Raised client-side for refused submissions (a draining daemon), failed
+    tickets and unreachable daemons; always a one-line, actionable message
+    — never a raw socket traceback."""
+
+
+class ProtocolError(ServiceError):
+    """A wire frame violated the evaluation-service JSON-lines protocol.
+
+    Covers malformed JSON, non-object frames, oversized and truncated
+    frames.  The daemon answers with a one-line error frame and drops the
+    connection; the client raises this error."""

@@ -415,6 +415,12 @@ class RuntimeSpec:
     #: Resume from the checkpoint journal instead of clearing it — a fresh
     #: run (the default) discards any journal left by an earlier run.
     resume: bool = False
+    #: Address of a running evaluation daemon (``repro-axc serve``): a
+    #: unix-socket path or ``host:port``.  When set, the CLI's ``run``
+    #: submits the spec over the wire instead of executing locally; the
+    #: daemon's report is byte-identical to a local run, which is why this
+    #: is a runtime knob and not a fingerprinted field.
+    remote: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_KINDS:
@@ -481,6 +487,12 @@ class RuntimeSpec:
         if not isinstance(self.resume, bool):
             raise ConfigurationError(
                 f"runtime resume must be a boolean, got {self.resume!r}"
+            )
+        if self.remote is not None and (not isinstance(self.remote, str)
+                                        or not self.remote):
+            raise ConfigurationError(
+                f"runtime remote must be a daemon address (socket path or "
+                f"host:port) or null, got {self.remote!r}"
             )
         if (self.resume or self.checkpoint_interval) and self.store_path is None:
             raise ConfigurationError(
@@ -575,6 +587,7 @@ class RuntimeSpec:
             "job_timeout_s": self.job_timeout_s,
             "checkpoint_interval": self.checkpoint_interval,
             "resume": self.resume,
+            "remote": self.remote,
         }
 
     @classmethod
@@ -582,7 +595,7 @@ class RuntimeSpec:
         payload = _require_mapping(payload, "runtime spec")
         allowed = ("executor", "jobs", "store_path", "chunk_size", "store_outputs",
                    "compiled", "batch_size", "retries", "job_timeout_s",
-                   "checkpoint_interval", "resume")
+                   "checkpoint_interval", "resume", "remote")
         _check_keys(payload, allowed, "runtime spec")
         return cls(**payload)
 

@@ -46,6 +46,7 @@ import logging
 import multiprocessing
 import os
 import pickle
+import signal
 import time
 import traceback
 from abc import ABC, abstractmethod
@@ -274,6 +275,21 @@ class SerialExecutor(Executor):
                               attempts=attempts)
 
 
+def _pool_worker_init() -> None:
+    """Give pool workers default signal dispositions.
+
+    A ``fork``-started worker inherits the parent's Python signal handlers
+    and wakeup fd.  When the parent is an asyncio process (the evaluation
+    daemon), that state is live machinery: a SIGTERM aimed at the *worker*
+    (``ProcessPoolExecutor`` terminating a broken pool) would be written
+    into the shared self-pipe — the parent's loop then drains as if *it*
+    had been signalled — and the worker itself would never die from it.
+    """
+    signal.set_wakeup_fd(-1)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+
+
 def _run_job_in_worker(job: ExplorationJob,
                        snapshot_blob: bytes,
                        store_outputs: bool) -> Tuple[Optional[object], Optional[str],
@@ -435,7 +451,8 @@ class ProcessExecutor(Executor):
                     break
                 if pool is None:
                     pool = ProcessPoolExecutor(max_workers=workers,
-                                               mp_context=self._context())
+                                               mp_context=self._context(),
+                                               initializer=_pool_worker_init)
                 wave, rest = pending[:workers], pending[workers:]
                 snapshot_blob = pickle.dumps(store.snapshot(),
                                              protocol=pickle.HIGHEST_PROTOCOL)

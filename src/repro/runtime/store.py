@@ -60,6 +60,19 @@ __all__ = [
     "inspect_store",
 ]
 
+#: Default per-connection sqlite busy handler budget, in seconds.  Every
+#: connection the store opens waits this long for a competing writer before
+#: surfacing ``database is locked`` — the first line of defence under
+#: concurrent access (the Python-level flush backoff is the second).
+BUSY_TIMEOUT_S = 5.0
+
+#: Total :meth:`EvaluationStore.flush` attempts under sqlite lock
+#: contention, and the first backoff sleep (doubled after every failed
+#: attempt: 0.05, 0.1, 0.2, 0.4, 0.8 s — ~1.55 s of grace on top of the
+#: per-connection busy timeout).
+FLUSH_ATTEMPTS = 6
+FLUSH_BACKOFF_S = 0.05
+
 
 # --------------------------------------------------------------- fingerprints
 
@@ -203,9 +216,17 @@ class EvaluationStore:
     """
 
     def __init__(self, path: Optional[Union[str, Path]] = None,
-                 records: Optional[Mapping[EvaluationKey, "EvaluationRecord"]] = None) -> None:
+                 records: Optional[Mapping[EvaluationKey, "EvaluationRecord"]] = None,
+                 busy_timeout_s: float = BUSY_TIMEOUT_S) -> None:
+        if (not isinstance(busy_timeout_s, (int, float))
+                or isinstance(busy_timeout_s, bool) or busy_timeout_s < 0):
+            raise ConfigurationError(
+                f"store busy_timeout_s must be a non-negative number, "
+                f"got {busy_timeout_s!r}"
+            )
         self._records: Dict[EvaluationKey, "EvaluationRecord"] = dict(records or {})
         self._path = Path(path) if path is not None else None
+        self._busy_timeout_s = float(busy_timeout_s)
         self._hits = 0
         self._misses = 0
         self._upgrades = 0
@@ -331,11 +352,35 @@ class EvaluationStore:
 
     # ------------------------------------------------------------ persistence
 
+    def _connect(self) -> sqlite3.Connection:
+        """Open the backend with WAL journaling and a busy-handler budget.
+
+        WAL lets concurrent readers (``repro-axc store stats``, a second
+        store loading the same file) proceed while a writer flushes, and
+        ``busy_timeout`` makes every statement wait for a competing writer
+        instead of failing instantly with ``database is locked``.  The
+        journal mode is a property of the database file, so the first
+        writer upgrades legacy stores in place.
+        """
+        connection = sqlite3.connect(self._path, timeout=self._busy_timeout_s)
+        try:
+            connection.execute(
+                f"PRAGMA busy_timeout = {int(self._busy_timeout_s * 1000)}"
+            )
+            connection.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.Error:
+            connection.close()
+            raise
+        return connection
+
     def _load(self) -> None:
         try:
-            with sqlite3.connect(self._path) as connection:
+            connection = self._connect()
+            try:
                 rows = connection.execute("SELECT key, record FROM evaluations").fetchall()
                 stats_row = _read_stats_row(connection)
+            finally:
+                connection.close()
         except sqlite3.Error as error:
             raise ConfigurationError(
                 f"evaluation store {self._path} is not a readable store database "
@@ -365,45 +410,55 @@ class EvaluationStore:
         :meth:`clear` / :meth:`clear_context` survive a flush-and-reload.  A
         no-op (returning 0) for purely in-memory stores.
 
-        A transient ``sqlite3.OperationalError`` ("database is locked" — a
-        concurrent reader holding the file) is retried once after a short
-        backoff before it propagates; the rewrite is idempotent, so the
-        retry can only help.
+        Lock contention (``sqlite3.OperationalError`` — a concurrent writer
+        holding the file past the connection's own busy timeout) is retried
+        with bounded exponential backoff (:data:`FLUSH_ATTEMPTS` attempts,
+        sleeps doubling from :data:`FLUSH_BACKOFF_S`); the rewrite is
+        idempotent, so retries can only help.  The final failure propagates.
         """
         if self._path is None:
             return 0
-        try:
-            return self._flush_once()
-        except sqlite3.OperationalError:
-            time.sleep(0.1)
-            return self._flush_once()
+        delay = FLUSH_BACKOFF_S
+        for attempt in range(1, FLUSH_ATTEMPTS + 1):
+            try:
+                return self._flush_once()
+            except sqlite3.OperationalError:
+                if attempt == FLUSH_ATTEMPTS:
+                    raise
+                time.sleep(delay)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _flush_once(self) -> int:
         self._path.parent.mkdir(parents=True, exist_ok=True)
-        with sqlite3.connect(self._path) as connection:
-            connection.execute(
-                "CREATE TABLE IF NOT EXISTS evaluations "
-                "(key TEXT PRIMARY KEY, record BLOB NOT NULL)"
-            )
-            connection.execute("DELETE FROM evaluations")
-            connection.executemany(
-                "INSERT INTO evaluations (key, record) VALUES (?, ?)",
-                [
-                    (_encode_key(key), pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
-                    for key, record in self._records.items()
-                ],
-            )
-            connection.execute(
-                "CREATE TABLE IF NOT EXISTS store_stats "
-                "(hits INTEGER NOT NULL, misses INTEGER NOT NULL, "
-                "upgrades INTEGER NOT NULL)"
-            )
-            connection.execute("DELETE FROM store_stats")
-            lifetime = self.lifetime_stats
-            connection.execute(
-                "INSERT INTO store_stats (hits, misses, upgrades) VALUES (?, ?, ?)",
-                (lifetime.hits, lifetime.misses, lifetime.upgrades),
-            )
+        connection = self._connect()
+        try:
+            with connection:  # one transaction; commits on success
+                connection.execute(
+                    "CREATE TABLE IF NOT EXISTS evaluations "
+                    "(key TEXT PRIMARY KEY, record BLOB NOT NULL)"
+                )
+                connection.execute("DELETE FROM evaluations")
+                connection.executemany(
+                    "INSERT INTO evaluations (key, record) VALUES (?, ?)",
+                    [
+                        (_encode_key(key), pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+                        for key, record in self._records.items()
+                    ],
+                )
+                connection.execute(
+                    "CREATE TABLE IF NOT EXISTS store_stats "
+                    "(hits INTEGER NOT NULL, misses INTEGER NOT NULL, "
+                    "upgrades INTEGER NOT NULL)"
+                )
+                connection.execute("DELETE FROM store_stats")
+                lifetime = self.lifetime_stats
+                connection.execute(
+                    "INSERT INTO store_stats (hits, misses, upgrades) VALUES (?, ?, ?)",
+                    (lifetime.hits, lifetime.misses, lifetime.upgrades),
+                )
+        finally:
+            connection.close()
         return len(self._records)
 
     def close(self) -> None:

@@ -1,0 +1,34 @@
+"""The evaluation service: a long-lived, multi-client catalog server.
+
+One daemon (:class:`EvaluationDaemon`) owns one shared evaluation store,
+executor and checkpoint journal and serves experiment submissions over a
+JSON-lines protocol on a unix socket or localhost TCP port; any number of
+:class:`ServiceClient`\\ s submit :class:`~repro.experiments.spec.
+ExperimentSpec` documents and get back reports byte-identical to a local
+serial :func:`~repro.experiments.runner.run_experiment`.
+
+See :mod:`repro.service.daemon` for the consistency model and drain
+semantics, :mod:`repro.service.protocol` for the wire format, and the
+"Evaluation service" section of ARCHITECTURE.md for the overview.
+"""
+
+from repro.service.client import RemoteReport, ServiceClient, parse_address
+from repro.service.daemon import EvaluationDaemon, format_address
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "EvaluationDaemon",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "RemoteReport",
+    "ServiceClient",
+    "decode_frame",
+    "encode_frame",
+    "format_address",
+    "parse_address",
+]

@@ -1,0 +1,251 @@
+"""The synchronous client side of the evaluation service.
+
+:class:`ServiceClient` talks the JSON-lines protocol
+(:mod:`repro.service.protocol`) to a running
+:class:`~repro.service.daemon.EvaluationDaemon`.  Addresses are either a
+unix-socket path or ``host:port`` / bare-port TCP; one connection serves
+one request, so a client object is trivially safe to share across
+threads and cheap to construct per process.
+
+:meth:`ServiceClient.run` is the remote mirror of
+:func:`~repro.experiments.runner.run_experiment`: submit, wait, and
+return a :class:`RemoteReport` whose :meth:`~RemoteReport.canonical_json`
+is the daemon's bytes verbatim — byte-identical to a local serial run of
+the same spec, which is the property the concurrency suite pins.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError, ProtocolError, ServiceError
+from repro.experiments.spec import ExperimentSpec
+from repro.service.protocol import read_frame, write_frame
+
+__all__ = ["RemoteReport", "ServiceClient", "parse_address"]
+
+#: Longest a single poll round-trip blocks server-side before re-asking.
+_POLL_WAIT_S = 30.0
+
+
+def parse_address(address: Union[str, int]) -> Tuple[str, Optional[int]]:
+    """Split an address into ``(socket_path, None)`` or ``(host, port)``.
+
+    Accepted spellings: a unix-socket path (anything with a path
+    separator, or an existing file), ``host:port``, ``:port`` / a bare
+    port (localhost TCP).
+    """
+    if isinstance(address, int):
+        return ("127.0.0.1", address)
+    if not isinstance(address, str) or not address:
+        raise ConfigurationError(
+            f"service address must be a socket path, host:port or port, "
+            f"got {address!r}"
+        )
+    text = address.strip()
+    if text.isdigit():
+        return ("127.0.0.1", int(text))
+    host, sep, port_text = text.rpartition(":")
+    if sep and port_text.isdigit() and "/" not in port_text:
+        return (host or "127.0.0.1", int(port_text))
+    return (text, None)
+
+
+class RemoteReport:
+    """A finished experiment as the daemon reported it.
+
+    Carries the daemon's full report document (:attr:`payload`, the
+    ``ExperimentReport.to_dict()`` form) plus its canonical JSON bytes
+    verbatim.  The spec is reconstructed lazily for callers that want
+    the typed object; everything else stays plain data — the in-memory
+    exploration results never cross the wire.
+    """
+
+    def __init__(self, payload: Dict[str, object], canonical: str,
+                 ticket: str, coalesced: bool) -> None:
+        self.payload = payload
+        self._canonical = canonical
+        self.ticket = ticket
+        #: Whether the submit attached to an already-known ticket.
+        self.coalesced = coalesced
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.payload.get("ok"))
+
+    @property
+    def spec(self) -> ExperimentSpec:
+        return ExperimentSpec.from_dict(self.payload["spec"])
+
+    @property
+    def store(self) -> Dict[str, object]:
+        return dict(self.payload.get("store", {}))
+
+    def to_dict(self) -> Dict[str, object]:
+        return dict(self.payload)
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.payload, indent=indent, sort_keys=True)
+
+    def canonical_json(self) -> str:
+        """The daemon's canonical report bytes, untouched."""
+        return self._canonical
+
+
+class ServiceClient:
+    """Blocking client for one evaluation daemon endpoint."""
+
+    def __init__(self, address: Union[str, int],
+                 connect_timeout_s: float = 10.0) -> None:
+        self._path_or_host, self._port = parse_address(address)
+        if (not isinstance(connect_timeout_s, (int, float))
+                or isinstance(connect_timeout_s, bool) or connect_timeout_s <= 0):
+            raise ConfigurationError(
+                f"connect_timeout_s must be a positive number, "
+                f"got {connect_timeout_s!r}"
+            )
+        self._connect_timeout_s = float(connect_timeout_s)
+        self.address = (self._path_or_host if self._port is None
+                        else f"{self._path_or_host}:{self._port}")
+
+    # ---------------------------------------------------------------- wiring
+
+    def _connect(self) -> socket.socket:
+        try:
+            if self._port is None:
+                if not Path(self._path_or_host).exists():
+                    raise ConfigurationError(
+                        f"no evaluation daemon at {self._path_or_host} "
+                        f"(socket does not exist; start one with "
+                        f"'repro-axc serve --socket {self._path_or_host}')"
+                    )
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self._connect_timeout_s)
+                sock.connect(self._path_or_host)
+            else:
+                sock = socket.create_connection(
+                    (self._path_or_host, self._port),
+                    timeout=self._connect_timeout_s)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach the evaluation daemon at {self.address}: {exc}"
+            ) from exc
+        sock.settimeout(None)  # requests block until the daemon answers
+        return sock
+
+    def _roundtrip(self, request: Dict[str, object]) -> Dict[str, object]:
+        sock = self._connect()
+        try:
+            stream = sock.makefile("rwb")
+            try:
+                write_frame(stream, request)
+                response = read_frame(stream)
+            finally:
+                stream.close()
+        except OSError as exc:
+            raise ServiceError(
+                f"connection to {self.address} failed mid-request: {exc}"
+            ) from exc
+        finally:
+            sock.close()
+        return self._checked(response)
+
+    def _checked(self, response: Optional[Dict[str, object]]) -> Dict[str, object]:
+        if response is None:
+            raise ProtocolError(
+                f"the daemon at {self.address} closed the connection "
+                f"without answering"
+            )
+        if not response.get("ok"):
+            raise ServiceError(str(response.get("error", "daemon error")))
+        return response
+
+    # ------------------------------------------------------------------ ops
+
+    def submit(self, spec: ExperimentSpec) -> Dict[str, object]:
+        """Submit one experiment; returns the ticket frame (``ticket``,
+        ``state``, ``coalesced``, ``fingerprint``, ``semantic``)."""
+        if not isinstance(spec, ExperimentSpec):
+            raise ConfigurationError(
+                f"submit expects an ExperimentSpec, got {type(spec).__name__}"
+            )
+        return self._roundtrip({"op": "submit", "spec": spec.to_dict()})
+
+    def poll(self, ticket: str, wait: float = 0.0) -> Dict[str, object]:
+        """One status round-trip; ``wait`` blocks server-side up to that long."""
+        request: Dict[str, object] = {"op": "poll", "ticket": ticket}
+        if wait:
+            request["wait"] = float(wait)
+        return self._roundtrip(request)
+
+    def stream(self, ticket: str) -> Iterator[Dict[str, object]]:
+        """Yield the ticket's progress events, ending with its final status."""
+        sock = self._connect()
+        try:
+            stream = sock.makefile("rwb")
+            try:
+                write_frame(stream, {"op": "stream", "ticket": ticket})
+                while True:
+                    frame = read_frame(stream)
+                    if frame is None:
+                        return
+                    if not frame.get("ok"):
+                        raise ServiceError(
+                            str(frame.get("error", "daemon error")))
+                    yield frame
+                    if "state" in frame and "event" not in frame:
+                        return  # the final status frame
+            finally:
+                stream.close()
+        except OSError as exc:
+            raise ServiceError(
+                f"stream from {self.address} failed: {exc}") from exc
+        finally:
+            sock.close()
+
+    def stats(self) -> Dict[str, object]:
+        """The daemon's live counters (see the daemon's ``_stats``)."""
+        return self._roundtrip({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain and exit (the graceful SIGTERM path)."""
+        self._roundtrip({"op": "shutdown"})
+
+    # ------------------------------------------------------------ high level
+
+    def run(self, spec: ExperimentSpec,
+            timeout_s: Optional[float] = None) -> RemoteReport:
+        """Submit and wait: the remote ``run_experiment``.
+
+        Polls with server-side waiting (no busy loop).  ``timeout_s``
+        bounds the total wait; a failed ticket raises
+        :class:`~repro.errors.ServiceError` with the daemon's one-line
+        error.
+        """
+        submitted = self.submit(spec)
+        ticket = str(submitted["ticket"])
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while True:
+            wait = _POLL_WAIT_S
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceError(
+                        f"ticket {ticket} did not finish within {timeout_s} s"
+                    )
+                wait = min(wait, remaining)
+            status = self.poll(ticket, wait=wait)
+            state = status["state"]
+            if state == "done":
+                return RemoteReport(payload=status["report"],
+                                    canonical=str(status["canonical"]),
+                                    ticket=ticket,
+                                    coalesced=bool(submitted.get("coalesced")))
+            if state == "failed":
+                raise ServiceError(
+                    f"ticket {ticket} failed: {status.get('error')}")

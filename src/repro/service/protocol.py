@@ -1,0 +1,141 @@
+"""The evaluation service's JSON-lines wire protocol.
+
+One frame is one JSON *object* on one ``\\n``-terminated line, encoded
+canonically — UTF-8, sorted keys, compact separators — so encoding is a
+pure function of content: ``encode_frame(decode_frame(data)) == data``
+for every frame this module produced, which is the byte-stability
+contract the property tests pin (``tests/test_service_protocol.py``).
+
+Requests carry an ``op`` (:data:`REQUEST_OPS`); responses carry ``ok``
+plus op-specific fields; stream frames carry ``event``.  Anything that
+violates the framing — malformed JSON, a non-object payload, an
+oversized line, a connection closed mid-line — raises
+:class:`~repro.errors.ProtocolError` with a one-line message.  The
+daemon turns that into an error *frame* (never a traceback) and drops
+the connection; the client lets it propagate as the one-line error.
+
+The protocol is versioned (:data:`PROTOCOL_VERSION`); the daemon's
+``hello`` field lets clients detect mismatches early.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import BinaryIO, Dict, Mapping, Optional
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "REQUEST_OPS",
+    "TICKET_STATES",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "ok_frame",
+    "read_frame",
+    "write_frame",
+]
+
+#: Wire protocol version; bump on incompatible change.
+PROTOCOL_VERSION = 1
+
+#: Frames larger than this are refused on both sides.  Reports carrying
+#: full sweep fronts are megabytes at paper scale; 64 MiB is far above
+#: anything legitimate and low enough to stop a garbage stream early.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: The operations a request frame may name.
+REQUEST_OPS = ("submit", "poll", "stream", "stats", "shutdown")
+
+#: Ticket lifecycle states (a ticket only ever moves forward).
+TICKET_STATES = ("queued", "running", "done", "failed")
+
+
+def encode_frame(payload: Mapping[str, object]) -> bytes:
+    """Canonical bytes of one frame (sorted keys, compact, ``\\n``-terminated)."""
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"a frame must be a mapping, got {type(payload).__name__}"
+        )
+    try:
+        text = json.dumps(dict(payload), sort_keys=True, separators=(",", ":"),
+                          allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"frame is not JSON-serializable: {exc}") from exc
+    data = text.encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return data
+
+
+def decode_frame(line: bytes) -> Dict[str, object]:
+    """Parse one received line into a frame dict; malformed input is one line.
+
+    ``line`` may or may not carry its trailing newline (``read_frame``
+    strips it); everything else about the framing is strict.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        text = line.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"frame is not valid UTF-8: {exc}") from exc
+    text = text.strip()
+    if not text:
+        raise ProtocolError("empty frame")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"a frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def read_frame(stream: BinaryIO) -> Optional[Dict[str, object]]:
+    """Read one frame from a blocking binary stream (the sync client side).
+
+    Returns ``None`` on a clean end-of-stream (the peer closed between
+    frames).  A line without its terminating newline means the connection
+    died mid-frame — that is a truncated frame, and truncation is a
+    protocol error, not silent data loss.
+    """
+    line = stream.readline(MAX_FRAME_BYTES + 1)
+    if not line:
+        return None
+    if not line.endswith(b"\n"):
+        if len(line) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame exceeds the {MAX_FRAME_BYTES}-byte limit"
+            )
+        raise ProtocolError(
+            "truncated frame: the connection closed mid-line "
+            "(daemon died or was drained mid-reply)"
+        )
+    return decode_frame(line)
+
+
+def write_frame(stream: BinaryIO, payload: Mapping[str, object]) -> None:
+    """Encode and write one frame to a blocking binary stream."""
+    stream.write(encode_frame(payload))
+    stream.flush()
+
+
+def ok_frame(**fields: object) -> Dict[str, object]:
+    """A success response frame."""
+    frame: Dict[str, object] = {"ok": True}
+    frame.update(fields)
+    return frame
+
+
+def error_frame(message: str) -> Dict[str, object]:
+    """A one-line error response frame (first line only, by construction)."""
+    return {"ok": False, "error": str(message).splitlines()[0] if message else "error"}

@@ -1,0 +1,103 @@
+"""Shared plumbing for the evaluation-service test suites.
+
+Starts real ``repro-axc serve`` daemons as subprocesses (the unit under
+test is the whole process: signal handling, drain, socket cleanup) and
+real client subprocesses, so the concurrency suite exercises genuine
+multi-process contention rather than threads sharing one interpreter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: One client submission: run the spec against the daemon, dump the result.
+CLIENT_SCRIPT = """
+import json, sys
+spec_path, address, out_path = sys.argv[1:4]
+from repro.experiments.spec import ExperimentSpec
+from repro.service import ServiceClient
+spec = ExperimentSpec.from_dict(json.load(open(spec_path)))
+client = ServiceClient(address)
+report = client.run(spec, timeout_s=300)
+with open(out_path, "w") as handle:
+    json.dump({"ok": report.ok, "ticket": report.ticket,
+               "coalesced": report.coalesced,
+               "canonical": report.canonical_json(),
+               "store": report.store}, handle)
+"""
+
+
+def service_env(extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if extra:
+        env.update(extra)
+    return env
+
+
+@contextmanager
+def running_daemon(*serve_args: str, env_extra: Optional[Dict[str, str]] = None):
+    """Yield ``(process, address)`` for a live daemon; SIGTERM it on exit."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", *serve_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=service_env(env_extra),
+    )
+    ready = process.stdout.readline()
+    if "ready on" not in ready:
+        process.kill()
+        rest = process.stdout.read()
+        raise AssertionError(f"daemon never became ready: {ready!r}\n{rest}")
+    address = ready.split("ready on ", 1)[1].split()[0]
+    try:
+        yield process, address
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=60)
+            except subprocess.TimeoutExpired:  # pragma: no cover - CI guard
+                process.kill()
+                process.wait()
+
+
+def run_clients(spec_paths: Sequence[Path], address: str, out_dir: Path,
+                env_extra: Optional[Dict[str, str]] = None) -> List[dict]:
+    """Run one client process per spec concurrently; return their results."""
+    processes = []
+    out_paths = []
+    for index, spec_path in enumerate(spec_paths):
+        out_path = out_dir / f"client{index}.json"
+        out_paths.append(out_path)
+        processes.append(subprocess.Popen(
+            [sys.executable, "-c", CLIENT_SCRIPT, str(spec_path), address,
+             str(out_path)],
+            env=service_env(env_extra), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True,
+        ))
+    failures = []
+    for process, out_path in zip(processes, out_paths):
+        output = process.communicate(timeout=300)[0]
+        if process.returncode != 0:
+            failures.append(f"client for {out_path.name} exited "
+                            f"{process.returncode}:\n{output}")
+    if failures:
+        raise AssertionError("\n".join(failures))
+    return [json.loads(path.read_text()) for path in out_paths]
+
+
+def daemon_stats(address: str) -> dict:
+    """One ``stats`` round-trip from inside the test process."""
+    sys.path.insert(0, SRC)
+    from repro.service import ServiceClient
+
+    return ServiceClient(address).stats()

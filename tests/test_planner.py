@@ -80,6 +80,7 @@ ALTERNATE_RUNTIME_VALUES = {
     "job_timeout_s": 12.5,
     "checkpoint_interval": 5,
     "resume": True,
+    "remote": "/tmp/evald.sock",
 }
 
 

@@ -1,0 +1,181 @@
+"""Chaos coverage for the evaluation service: faults fire inside the daemon.
+
+The PR-9 fault harness (:mod:`repro.runtime.faults`) is env-guarded, so a
+daemon started with ``REPRO_FAULT_PLAN`` drives injected kill/transient/
+delay rules into its own evaluation workers — exactly like any other
+runtime.  Two scenarios matter:
+
+* **pool-worker kill** — a rule kills a process-pool worker mid-ticket;
+  the retry layer salvages, rebuilds the pool and re-dispatches, and the
+  client's final report is byte-identical to a fault-free serial run;
+* **daemon kill + resume** — a rule kills the daemon process itself
+  mid-ticket (serial executor: the worker thread *is* the daemon).  A
+  restart with ``--resume`` restores the journaled jobs from the
+  checkpoint, re-runs only the unfinished tail, and the resubmitting
+  client's report is byte-identical to an uninterrupted run.  Spent
+  fault occurrences stay spent across the restart (the marker files
+  persist), so the replacement daemon does not die again.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments.runner import run_experiment
+from repro.experiments.spec import ExperimentSpec
+from repro.runtime.faults import FaultPlan, FaultRule
+
+from _service_utils import daemon_stats, run_clients, running_daemon, service_env
+
+SPEC_PAYLOAD = {
+    "kind": "campaign",
+    "benchmarks": ["dotproduct:length=12"],
+    "agents": ["random"],
+    "seeds": [0, 1, 2, 3],
+    "max_steps": 15,
+}
+
+
+@pytest.fixture(scope="module")
+def serial_canonical():
+    """The fault-free truth every chaos scenario must reproduce."""
+    return run_experiment(
+        ExperimentSpec.from_dict(SPEC_PAYLOAD)).canonical_json()
+
+
+def _write_spec(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC_PAYLOAD))
+    return path
+
+
+class TestPoolWorkerKill:
+    def test_killed_pool_worker_is_retried_to_an_identical_report(
+            self, tmp_path, serial_canonical):
+        # The 2nd matching job execution dies inside a pool worker; with
+        # --retries 3 the executor rebuilds the pool and re-dispatches.
+        plan_env = FaultPlan(rules=(
+            FaultRule(action="kill", match="*", after=1, times=1),
+        )).install(tmp_path / "faults")
+        spec_path = _write_spec(tmp_path)
+        socket_path = str(tmp_path / "evald.sock")
+
+        with running_daemon("--socket", socket_path,
+                            "--store", str(tmp_path / "evals.sqlite"),
+                            "--jobs", "2", "--batch-size", "1",
+                            "--retries", "3",
+                            env_extra=plan_env) as (daemon, address):
+            [result] = run_clients([spec_path], address, tmp_path,
+                                   env_extra=plan_env)
+            stats = daemon_stats(address)
+
+        assert result["ok"]
+        assert result["canonical"] == serial_canonical
+        # The harness is visible: the daemon knows which plan it ran under.
+        assert stats["fault_plan"] == plan_env["REPRO_FAULT_PLAN"]
+        assert stats["tickets"]["failed"] == 0
+        assert daemon.wait(timeout=60) == 0
+
+    def test_transient_faults_inside_workers_are_retried(self, tmp_path,
+                                                         serial_canonical):
+        plan_env = FaultPlan(rules=(
+            FaultRule(action="transient", match="*", times=2),
+        )).install(tmp_path / "faults")
+        spec_path = _write_spec(tmp_path)
+        socket_path = str(tmp_path / "evald.sock")
+
+        with running_daemon("--socket", socket_path,
+                            "--jobs", "2", "--batch-size", "1",
+                            "--retries", "3",
+                            env_extra=plan_env) as (_daemon, address):
+            [result] = run_clients([spec_path], address, tmp_path,
+                                   env_extra=plan_env)
+
+        assert result["ok"]
+        assert result["canonical"] == serial_canonical
+
+
+class TestDaemonKillAndResume:
+    def _submit_and_expect_death(self, address, spec_path):
+        """Submit; the daemon dies mid-ticket, so waiting must error."""
+        from repro.service import ServiceClient
+
+        client = ServiceClient(address)
+        spec = ExperimentSpec.from_dict(json.loads(spec_path.read_text()))
+        ticket = client.submit(spec)["ticket"]
+        with pytest.raises(ServiceError):
+            while True:  # the daemon dies before this ever finishes
+                status = client.poll(ticket, wait=10)
+                assert status["state"] != "done", \
+                    "fault plan should have killed the daemon mid-ticket"
+
+    def test_killed_daemon_resumes_from_checkpoint(self, tmp_path,
+                                                   serial_canonical):
+        # Serial executor: the evaluation thread lives in the daemon
+        # process, so a kill rule on the 3rd per-seed job kills the daemon
+        # itself after two jobs were journaled.
+        plan_env = FaultPlan(rules=(
+            FaultRule(action="kill", match="*", after=2, times=1),
+        )).install(tmp_path / "faults")
+        spec_path = _write_spec(tmp_path)
+        store = str(tmp_path / "evals.sqlite")
+        socket_path = str(tmp_path / "evald.sock")
+
+        with running_daemon("--socket", socket_path, "--store", store,
+                            "--jobs", "1", "--batch-size", "1",
+                            env_extra=plan_env) as (daemon, address):
+            self._submit_and_expect_death(address, spec_path)
+            code = daemon.wait(timeout=60)
+        assert code == 23  # the fault rule's exit code: a hard kill
+
+        # The replacement daemon resumes: journaled jobs restore, only the
+        # unfinished tail re-runs, and the report is indistinguishable
+        # from one produced without the crash.
+        with running_daemon("--socket", socket_path, "--store", store,
+                            "--jobs", "1", "--batch-size", "1", "--resume",
+                            env_extra=plan_env) as (_daemon, address):
+            [result] = run_clients([spec_path], address, tmp_path,
+                                   env_extra=plan_env)
+            stats = daemon_stats(address)
+
+        assert result["ok"]
+        assert result["canonical"] == serial_canonical
+        assert stats["checkpoint"]["restored"] == 2  # the journaled prefix
+
+    def test_clean_drain_leaves_no_socket_or_tmp_files(self, tmp_path):
+        # The CI service job's invariant, pinned here too: SIGTERM exits 0
+        # and the socket directory holds only the store artifacts.
+        spec_path = _write_spec(tmp_path)
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        socket_path = str(run_dir / "evald.sock")
+        store = str(run_dir / "evals.sqlite")
+
+        with running_daemon("--socket", socket_path, "--store", store) \
+                as (daemon, address):
+            [result] = run_clients([spec_path], address, tmp_path)
+            assert result["ok"]
+        assert daemon.wait(timeout=60) == 0
+
+        leftovers = sorted(path.name for path in run_dir.iterdir())
+        assert "evald.sock" not in leftovers
+        assert all(name.startswith("evals.sqlite") for name in leftovers), \
+            leftovers
+
+
+def test_fault_plans_round_trip_through_the_environment(tmp_path):
+    # The daemon advertises the plan it inherited; a plain daemon
+    # advertises none.  (Keeps the chaos path honest: tests above really
+    # did inject through the same env channel.)
+    env = service_env()
+    env.pop("REPRO_FAULT_PLAN", None)
+    probe = subprocess.run(
+        [sys.executable, "-c",
+         "import os; print(os.environ.get('REPRO_FAULT_PLAN'))"],
+        env=env, capture_output=True, text=True)
+    assert probe.stdout.strip() == "None"

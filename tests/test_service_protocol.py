@@ -1,0 +1,304 @@
+"""Wire-protocol and record round-trip properties.
+
+Two families of guarantees:
+
+* **Byte stability** — encoding is a pure function of content.  Random
+  frames, :class:`ExperimentSpec`\\ s, :class:`ExperimentReport`\\ s and
+  store :class:`EvaluationRecord`\\ s survive encode→decode→encode with
+  identical bytes, so fingerprints, canonical reports and store files
+  mean the same thing on every side of the wire.
+* **Malformed input hygiene** — garbage frames (bad JSON, non-objects,
+  truncations, oversized lines, invalid UTF-8) raise one-line
+  :class:`~repro.errors.ProtocolError`\\ s, and a live daemon answers
+  them with one-line error frames and keeps serving — never a traceback,
+  never a crash.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+import socket
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.design_space import DesignPoint
+from repro.dse.evaluator import EvaluationRecord
+from repro.errors import ProtocolError
+from repro.experiments.report import ExperimentEntry, ExperimentReport
+from repro.experiments.spec import ExperimentSpec
+from repro.metrics import ObjectiveDeltas
+from repro.operators.energy import RunCost
+from repro.runtime.store import EvaluationKey, _decode_key, _encode_key
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+
+from _service_utils import running_daemon, service_env
+
+# --------------------------------------------------------------- strategies
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=12), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+frames = st.dictionaries(st.text(min_size=1, max_size=16), json_values,
+                         min_size=1, max_size=6)
+
+specs = st.builds(
+    lambda kind, seeds, max_steps, description: ExperimentSpec(
+        kind=kind,
+        benchmarks=("dotproduct:length=12",),
+        agents=() if kind == "sweep" else ("random",),
+        seeds=tuple(seeds),
+        max_steps=max_steps,
+        description=description,
+    ),
+    kind=st.sampled_from(("explore", "campaign", "sweep")),
+    seeds=st.integers(min_value=0, max_value=10**6).map(lambda seed: (seed,)),
+    max_steps=st.integers(min_value=1, max_value=10**6),
+    description=st.text(max_size=30),
+)
+
+design_points = st.builds(
+    DesignPoint,
+    adder_index=st.integers(min_value=1, max_value=6),
+    multiplier_index=st.integers(min_value=1, max_value=6),
+    variables=st.lists(st.booleans(), min_size=1, max_size=8).map(tuple),
+)
+
+records = st.builds(
+    EvaluationRecord,
+    point=design_points,
+    deltas=st.builds(
+        ObjectiveDeltas,
+        accuracy=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        power_mw=st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        time_ns=st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    ),
+    approx_cost=st.builds(
+        RunCost,
+        power_mw=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        time_ns=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        operation_count=st.integers(min_value=0, max_value=10**9),
+    ),
+)
+
+store_keys = st.builds(
+    EvaluationKey,
+    benchmark=st.text(
+        alphabet=st.characters(codec="ascii", exclude_characters="|:\n"),
+        min_size=1, max_size=16),
+    catalog=st.text(
+        alphabet=st.characters(codec="ascii", exclude_characters="|:\n"),
+        min_size=1, max_size=16),
+    seed=st.integers(min_value=0, max_value=10**9),
+    signed=st.booleans(),
+    point=st.tuples(st.integers(min_value=1, max_value=9),
+                    st.integers(min_value=1, max_value=9),
+                    st.lists(st.booleans(), min_size=1, max_size=8).map(tuple)),
+)
+
+
+# ------------------------------------------------------------ byte stability
+
+
+class TestFrameRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(payload=frames)
+    def test_encode_decode_encode_is_byte_stable(self, payload):
+        wire = encode_frame(payload)
+        assert decode_frame(wire) == payload
+        assert encode_frame(decode_frame(wire)) == wire
+
+    @settings(max_examples=100, deadline=None)
+    @given(payload=frames)
+    def test_read_frame_inverts_encode_frame(self, payload):
+        stream = io.BytesIO(encode_frame(payload) + encode_frame(payload))
+        assert read_frame(stream) == payload
+        assert read_frame(stream) == payload
+        assert read_frame(stream) is None  # clean end of stream
+
+    @settings(max_examples=50, deadline=None)
+    @given(payload=frames)
+    def test_frames_are_single_lines(self, payload):
+        wire = encode_frame(payload)
+        assert wire.endswith(b"\n")
+        assert wire.count(b"\n") == 1
+
+
+class TestSpecRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(spec=specs)
+    def test_spec_survives_the_wire_byte_stably(self, spec):
+        wire = encode_frame({"op": "submit", "spec": spec.to_dict()})
+        decoded = decode_frame(wire)
+        rebuilt = ExperimentSpec.from_dict(decoded["spec"])
+        assert rebuilt == spec
+        assert rebuilt.fingerprint() == spec.fingerprint()
+        assert encode_frame({"op": "submit", "spec": rebuilt.to_dict()}) == wire
+
+
+class TestReportRoundTrip:
+    def _report(self, spec, metrics_list):
+        entries = tuple(
+            ExperimentEntry(benchmark_label="dotproduct:length=12", seed=index,
+                            agent=None, ok=True, metrics=metrics)
+            for index, metrics in enumerate(metrics_list)
+        )
+        return ExperimentReport(spec=spec, entries=entries, wall_clock_s=0.5,
+                                store={"size": len(entries)},
+                                provenance={"fingerprint": spec.fingerprint()})
+
+    @settings(max_examples=50, deadline=None)
+    @given(spec=specs,
+           metrics_list=st.lists(
+               st.dictionaries(st.text(min_size=1, max_size=10), json_values,
+                               max_size=3),
+               min_size=1, max_size=3))
+    def test_report_documents_are_byte_stable(self, spec, metrics_list):
+        report = self._report(spec, metrics_list)
+        for text in (report.to_json(), report.canonical_json()):
+            reparsed = json.dumps(json.loads(text), indent=2, sort_keys=True)
+            assert reparsed == text
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs,
+           metrics_list=st.lists(
+               st.dictionaries(st.text(min_size=1, max_size=10), json_values,
+                               max_size=3),
+               min_size=1, max_size=2))
+    def test_report_survives_a_frame_byte_stably(self, spec, metrics_list):
+        report = self._report(spec, metrics_list)
+        frame = {"report": report.to_dict(), "canonical": report.canonical_json()}
+        wire = encode_frame(frame)
+        assert encode_frame(decode_frame(wire)) == wire
+
+
+class TestStoreRecordRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(key=store_keys)
+    def test_key_text_encoding_is_byte_stable(self, key):
+        text = _encode_key(key)
+        assert _decode_key(text) == key
+        assert _encode_key(_decode_key(text)) == text
+
+    @settings(max_examples=100, deadline=None)
+    @given(record=records)
+    def test_record_pickle_is_byte_stable(self, record):
+        # The store's sqlite backend persists records as pickles; a
+        # load-and-rewrite cycle must not change a single byte.
+        blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        restored = pickle.loads(blob)
+        assert restored == record
+        assert pickle.dumps(restored, protocol=pickle.HIGHEST_PROTOCOL) == blob
+
+
+# ----------------------------------------------------- malformed input hygiene
+
+
+MALFORMED_LINES = [
+    b"not json at all\n",
+    b"{\"unterminated\": \n",
+    b"[1, 2, 3]\n",           # JSON, but not an object
+    b"\"just a string\"\n",
+    b"42\n",
+    b"null\n",
+    b"\n",                     # empty frame
+    b"   \n",
+    b"\xff\xfe garbage \xba\n",  # not UTF-8
+]
+
+
+class TestMalformedFrames:
+    @pytest.mark.parametrize("line", MALFORMED_LINES,
+                             ids=[repr(line) for line in MALFORMED_LINES])
+    def test_malformed_lines_raise_one_line_protocol_errors(self, line):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(line)
+        message = str(excinfo.value)
+        assert message
+        assert "\n" not in message
+        assert "Traceback" not in message
+
+    def test_truncated_stream_is_a_protocol_error(self):
+        stream = io.BytesIO(b'{"ok": true')  # connection died mid-line
+        with pytest.raises(ProtocolError, match="truncated"):
+            read_frame(stream)
+
+    def test_oversized_frame_is_refused_without_reading_it_all(self):
+        stream = io.BytesIO(b"x" * (MAX_FRAME_BYTES + 10))
+        with pytest.raises(ProtocolError, match="limit"):
+            read_frame(stream)
+
+    def test_unserializable_payload_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="not JSON-serializable"):
+            encode_frame({"spec": object()})
+        with pytest.raises(ProtocolError, match="not JSON-serializable"):
+            encode_frame({"bad": float("nan")})
+
+    def test_non_mapping_payload_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="must be a mapping"):
+            encode_frame(["a", "list"])
+
+
+class TestDaemonFrameHygiene:
+    """A live daemon answers garbage with error frames and keeps serving."""
+
+    def _raw_exchange(self, address, raw_line):
+        host, port_text = address.rsplit(":", 1)
+        with socket.create_connection((host, int(port_text)), timeout=30) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(raw_line)
+            stream.flush()
+            sock.shutdown(socket.SHUT_WR)
+            return stream.readline()
+
+    def test_garbage_gets_an_error_frame_and_the_daemon_survives(self):
+        with running_daemon("--port", "0") as (_daemon, address):
+            for line in MALFORMED_LINES:
+                answer = self._raw_exchange(address, line)
+                frame = decode_frame(answer)
+                assert frame["ok"] is False
+                assert "\n" not in frame["error"]
+                assert "Traceback" not in frame["error"]
+
+            # Truncated frame: the writer vanishes mid-line.
+            answer = self._raw_exchange(address, b'{"op": "stats"')
+            assert decode_frame(answer)["ok"] is False
+
+            # Unknown ops and missing fields answer, never kill.
+            for request in ({"op": "frobnicate"}, {"op": "poll"},
+                            {"op": "submit"}, {"op": "poll", "ticket": "nope"},
+                            {"op": "submit", "spec": {"kind": "bogus"}}):
+                answer = self._raw_exchange(address, encode_frame(request))
+                frame = decode_frame(answer)
+                assert frame["ok"] is False, request
+                assert "\n" not in frame["error"]
+
+            # After all that abuse the daemon still answers honest requests.
+            answer = self._raw_exchange(address, encode_frame({"op": "stats"}))
+            assert decode_frame(answer)["ok"] is True
+
+
+def test_service_env_helper_points_at_src():
+    assert "src" in service_env()["PYTHONPATH"]

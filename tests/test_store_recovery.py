@@ -6,8 +6,9 @@ wrong results into a report —
 
 * a truncated / non-sqlite / corrupt-record store file raises
   :class:`~repro.errors.ConfigurationError` naming the file and the fix;
-* a transient ``sqlite3.OperationalError`` on flush is retried exactly
-  once, then propagates;
+* a transient ``sqlite3.OperationalError`` on flush is retried with
+  bounded exponential backoff (the backend additionally opens in WAL
+  mode with a busy-handler budget), then propagates;
 * a checkpoint journal that disagrees with the store (stale journal,
   foreign journal, missing store) degrades to restore-from-journal or a
   cold re-run — both bit-identical to an uninterrupted campaign;
@@ -108,29 +109,38 @@ class TestCorruptStoreFiles:
         assert reloaded.get(key).deltas == store.get(key).deltas
 
 
-class TestFlushRetry:
+class TestFlushBackoff:
     def _store_with_record(self, tmp_path) -> EvaluationStore:
         return _populated_store(tmp_path / "evals.sqlite")
 
-    def test_transient_lock_is_retried_once(self, tmp_path, monkeypatch):
+    def test_repeated_transient_locks_are_retried_until_success(
+            self, tmp_path, monkeypatch):
+        # Regression for the single one-shot retry: three consecutive lock
+        # errors exhaust the old behaviour (one retry) but are well within
+        # the bounded exponential backoff budget.
         store = self._store_with_record(tmp_path)
         original = store._flush_once
         calls = []
+        monkeypatch.setattr(
+            "repro.runtime.store.FLUSH_BACKOFF_S", 0.001)
 
-        def locked_once():
+        def locked_thrice():
             calls.append(1)
-            if len(calls) == 1:
+            if len(calls) <= 3:
                 raise sqlite3.OperationalError("database is locked")
             return original()
 
-        monkeypatch.setattr(store, "_flush_once", locked_once)
+        monkeypatch.setattr(store, "_flush_once", locked_thrice)
         assert store.flush() == 1
-        assert len(calls) == 2
+        assert len(calls) == 4
 
-    def test_persistent_lock_propagates_after_one_retry(self, tmp_path,
-                                                        monkeypatch):
+    def test_persistent_lock_propagates_after_bounded_attempts(
+            self, tmp_path, monkeypatch):
+        from repro.runtime.store import FLUSH_ATTEMPTS
+
         store = self._store_with_record(tmp_path)
         calls = []
+        monkeypatch.setattr("repro.runtime.store.FLUSH_BACKOFF_S", 0.001)
 
         def always_locked():
             calls.append(1)
@@ -139,7 +149,50 @@ class TestFlushRetry:
         monkeypatch.setattr(store, "_flush_once", always_locked)
         with pytest.raises(sqlite3.OperationalError):
             store.flush()
-        assert len(calls) == 2  # exactly one retry, then honesty
+        assert len(calls) == FLUSH_ATTEMPTS  # bounded, then honesty
+
+    def test_backend_opens_in_wal_mode_with_busy_timeout(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        _populated_store(path)
+        connection = sqlite3.connect(path)
+        try:
+            (mode,) = connection.execute("PRAGMA journal_mode").fetchone()
+        finally:
+            connection.close()
+        assert mode.lower() == "wal"
+
+    def test_flush_survives_a_competing_writer_process(self, tmp_path):
+        # Two-process contention: a sibling process takes the sqlite write
+        # lock and holds it for ~1.2 s.  With a deliberately tiny busy
+        # timeout the old behaviour (one 0.1 s retry) gave up long before
+        # the lock cleared; the exponential backoff (~1.55 s of cumulative
+        # grace) outlives it.
+        import subprocess
+        import sys
+        import time
+
+        path = tmp_path / "evals.sqlite"
+        _populated_store(path)
+        holder = subprocess.Popen(
+            [sys.executable, "-c", (
+                "import sqlite3, sys, time\n"
+                "connection = sqlite3.connect(sys.argv[1])\n"
+                "connection.execute('BEGIN IMMEDIATE')\n"
+                "print('locked', flush=True)\n"
+                "time.sleep(1.2)\n"
+                "connection.commit()\n"
+                "connection.close()\n"
+            ), str(path)],
+            stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            assert holder.stdout.readline().strip() == "locked"
+            contended = EvaluationStore(path=str(path), busy_timeout_s=0.05)
+            started = time.perf_counter()
+            assert contended.flush() == 1  # old behaviour: OperationalError
+            assert time.perf_counter() - started < 10.0
+        finally:
+            holder.wait(timeout=30)
 
 
 # ------------------------------------------- journal/store disagreement
